@@ -1,0 +1,73 @@
+// Command tclsh is a plain Tcl shell: the Tcl distribution without Tk,
+// as it shipped from 1989 (§7 of the paper). It evaluates a script file
+// or reads commands interactively from standard input.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/tcl"
+)
+
+func main() {
+	in := tcl.New()
+	if len(os.Args) > 1 {
+		var rest []string
+		if len(os.Args) > 2 {
+			rest = os.Args[2:]
+		}
+		in.SetGlobal("argv0", os.Args[1])
+		in.SetGlobal("argv", tcl.FormatList(rest))
+		in.SetGlobal("argc", fmt.Sprint(len(rest)))
+		data, err := os.ReadFile(os.Args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tclsh: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := in.Eval(string(data)); err != nil {
+			fmt.Fprintf(os.Stderr, "tclsh: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	var pending strings.Builder
+	prompt := "% "
+	fmt.Print(prompt)
+	for scanner.Scan() {
+		pending.WriteString(scanner.Text())
+		pending.WriteByte('\n')
+		cmd := pending.String()
+		if !balanced(cmd) {
+			fmt.Print("> ")
+			continue
+		}
+		pending.Reset()
+		res, err := in.Eval(cmd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else if res != "" {
+			fmt.Println(res)
+		}
+		fmt.Print(prompt)
+	}
+}
+
+func balanced(s string) bool {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '{', '[':
+			depth++
+		case '}', ']':
+			depth--
+		}
+	}
+	return depth <= 0
+}

@@ -1,0 +1,170 @@
+// Command wish is the windowing shell of §5: Tcl + Tk + a main program
+// that reads Tcl commands from standard input or from a file. Entire
+// windowing applications are written as wish scripts, like the Figure 9
+// directory browser.
+//
+// Usage:
+//
+//	wish ?-f script? ?-name appName? ?-display addr? ?arg ...?
+//
+// With -display (or the WISH_DISPLAY environment variable) wish connects
+// to a shared simulated display server started with xsimd, so several
+// wish applications can see each other and communicate with send. Without
+// it, a private in-process display server is created.
+//
+// The special command "screenshot file.ppm ?window?" is added so headless
+// runs can capture what would be on screen.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/tcl"
+)
+
+func main() {
+	var (
+		script  string
+		appName = "wish"
+		display = os.Getenv("WISH_DISPLAY")
+	)
+	args := os.Args[1:]
+	var scriptArgs []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-f", "-file":
+			if i+1 >= len(args) {
+				fatal("missing file name after -f")
+			}
+			i++
+			script = args[i]
+			// Everything after the script name belongs to the script.
+			scriptArgs = args[i+1:]
+			i = len(args)
+		case "-name":
+			if i+1 >= len(args) {
+				fatal("missing name after -name")
+			}
+			i++
+			appName = args[i]
+		case "-display":
+			if i+1 >= len(args) {
+				fatal("missing address after -display")
+			}
+			i++
+			display = args[i]
+		default:
+			if script == "" && !strings.HasPrefix(args[i], "-") {
+				// "wish script args..." shorthand.
+				script = args[i]
+				scriptArgs = args[i+1:]
+				i = len(args)
+			} else {
+				fatal("unknown option %q", args[i])
+			}
+		}
+	}
+	if script != "" && appName == "wish" {
+		appName = script
+		if i := strings.LastIndexByte(appName, '/'); i >= 0 {
+			appName = appName[i+1:]
+		}
+	}
+
+	app, err := core.NewApp(core.Options{Name: appName, Display: display})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer app.Close()
+
+	// Script-visible argument variables, as in wish.
+	app.Interp.SetGlobal("argv0", appName)
+	app.Interp.SetGlobal("argv", tcl.FormatList(scriptArgs))
+	app.Interp.SetGlobal("argc", fmt.Sprint(len(scriptArgs)))
+
+	app.Interp.Register("screenshot", func(in *tcl.Interp, argv []string) (string, error) {
+		if len(argv) < 2 || len(argv) > 3 {
+			return "", fmt.Errorf(`wrong # args: should be "screenshot file ?window?"`)
+		}
+		win := ""
+		if len(argv) == 3 {
+			win = argv[2]
+		}
+		return "", app.ScreenshotPPM(win, argv[1])
+	})
+
+	// §5: commands "placed in a startup file to be read automatically
+	// whenever the application is executed". WISHRC overrides ~/.wishrc.
+	rc := os.Getenv("WISHRC")
+	if rc == "" {
+		if home := os.Getenv("HOME"); home != "" {
+			rc = home + "/.wishrc"
+		}
+	}
+	if rc != "" {
+		if data, err := os.ReadFile(rc); err == nil {
+			if _, err := app.Eval(string(data)); err != nil {
+				fmt.Fprintf(os.Stderr, "wish: error in %s: %v\n", rc, err)
+			}
+		}
+	}
+
+	if script != "" {
+		data, err := os.ReadFile(script)
+		if err != nil {
+			fatal("couldn't read %s: %v", script, err)
+		}
+		if _, err := app.Eval(string(data)); err != nil {
+			fatal("%s: %v", script, err)
+		}
+		app.MainLoop()
+		return
+	}
+
+	// Interactive: read commands from stdin through the toolkit's
+	// file-event mechanism (§3.2); each complete command evaluates in the
+	// event loop.
+	fmt.Println("wish: Tk windowing shell (simulated display); type Tcl commands.")
+	var pending strings.Builder
+	app.CreateFileHandler(os.Stdin, func(line string) {
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		cmd := pending.String()
+		if !complete(cmd) {
+			return
+		}
+		pending.Reset()
+		res, err := app.Eval(cmd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else if res != "" {
+			fmt.Println(res)
+		}
+	}, app.Quit)
+	app.MainLoop()
+}
+
+// complete reports whether a command string has balanced braces and
+// brackets, so multi-line commands can be typed interactively.
+func complete(s string) bool {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '{', '[':
+			depth++
+		case '}', ']':
+			depth--
+		}
+	}
+	return depth <= 0
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wish: "+format+"\n", args...)
+	os.Exit(1)
+}

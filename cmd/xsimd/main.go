@@ -1,0 +1,44 @@
+// Command xsimd runs a standalone simulated X display server on a TCP
+// address. Separate operating-system processes (wish scripts, the
+// examples) connect to it with -display/WISH_DISPLAY, share the screen,
+// and can communicate through Tk's send — the multi-process setting of
+// the paper's §6.
+//
+// Usage:
+//
+//	xsimd [-addr 127.0.0.1:6001] [-width 1024] [-height 768] [-latency-us N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/xserver"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6001", "TCP address to listen on")
+	width := flag.Int("width", 1024, "screen width in pixels")
+	height := flag.Int("height", 768, "screen height in pixels")
+	latency := flag.Int("latency-us", 0, "simulated per-request IPC latency in microseconds")
+	flag.Parse()
+
+	srv := xserver.New(*width, *height)
+	if *latency > 0 {
+		srv.SetLatency(time.Duration(*latency) * time.Microsecond)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsimd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("xsimd: simulated display server on %s (%dx%d)\n", bound, *width, *height)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	srv.Close()
+}

@@ -1,0 +1,93 @@
+// Browser: the paper's Figure 9 — a directory browser written as a
+// 21-line wish script — run end to end, producing the Figure 10 screen
+// dump as browser.ppm.
+//
+// The script below is the paper's, with its two shell-outs adapted for a
+// self-contained run: opening a subdirectory or file prints what the
+// original would have spawned ("browse $file &" in a new process, or the
+// mx editor) instead of requiring those programs to exist. The widget
+// structure, packing command, selection use and bindings are verbatim.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/tcl"
+	"repro/internal/xproto"
+)
+
+// figure9 is the browse script (Figure 9, lines 2-21).
+const figure9 = `
+scrollbar .scroll -command ".list view"
+listbox .list -scroll ".scroll set" -relief raised -geometry 20x20
+pack append . .scroll {right filly} .list {left expand fill}
+proc browse {dir file} {
+    if {[string compare $dir "."] != 0} {set file $dir/$file}
+    if [file $file isdirectory] {
+        print "browse $file &  (a second browser would start here)\n"
+    } else {
+        if [file $file isfile] {
+            print "exec mx $file  (the mx editor would open here)\n"
+        } else {
+            print "$file isn't a directory or regular file\n"
+        }
+    }
+}
+if $argc>0 {set dir [index $argv 0]} else {set dir "."}
+foreach i [exec ls -a $dir] {
+    .list insert end $i
+}
+bind .list <space> {foreach i [selection get] {browse $dir $i}}
+bind .list <Control-q> {destroy .}
+`
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	app, err := core.NewApp(core.Options{Name: "browse"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Close()
+
+	app.Interp.SetGlobal("argv", tcl.FormatList([]string{dir}))
+	app.Interp.SetGlobal("argc", "1")
+	app.MustEval(`wm title . browse`)
+	app.MustEval(figure9)
+	app.Update()
+	fmt.Printf("browsing %s: %s entries\n", dir, app.MustEval(`.list size`))
+
+	// Select a few entries with the mouse (Figure 10 shows three
+	// darkened items) and press space to browse them.
+	lb, _ := app.NameToWindow(".list")
+	rx, ry := lb.RootCoords()
+	app.Disp.WarpPointer(rx+30, ry+24) // second row
+	app.Disp.FakeButton(1, true)
+	app.Disp.WarpPointer(rx+30, ry+54) // drag to fourth row
+	app.Disp.FakeButton(1, false)
+	app.Update()
+	fmt.Printf("selected: %q\n", app.MustEval(`selection get`))
+
+	app.Disp.FakeKey(xproto.KsSpace, true)
+	app.Disp.FakeKey(xproto.KsSpace, false)
+	app.Update()
+
+	if err := app.ScreenshotPPM(".", "browser.ppm"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote browser.ppm (the Figure 10 screen dump)")
+
+	// Control-q exits via the script's own binding.
+	app.Disp.FakeKey(xproto.KsControlL, true)
+	app.Disp.FakeKey('q', true)
+	app.Disp.FakeKey('q', false)
+	app.Update()
+	if app.Quitting() {
+		fmt.Println("Control-q destroyed the application, as bound")
+	}
+}

@@ -1,0 +1,104 @@
+// Duo: the paper's §6 debugger/editor scenario. Two separate Tk
+// applications — an "editor" showing source lines and a "debugger" with a
+// breakpoint table — share one display and cooperate purely through the
+// send command: the debugger sends commands to the editor to highlight
+// the current line of execution, and the editor sends commands to the
+// debugger to set a breakpoint at a selected line. Neither application
+// was written to know about the other's internals; send gives access to
+// everything their Tcl interfaces expose.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/xserver"
+)
+
+func main() {
+	// One shared display server; two independent applications on it.
+	srv := xserver.New(1024, 768)
+	defer srv.Close()
+
+	editor, err := core.NewAppOnServer(srv, "editor", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer editor.Close()
+	debugger, err := core.NewAppOnServer(srv, "debugger", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer debugger.Close()
+
+	// --- The editor: a text widget showing source plus a "highlight"
+	// primitive exposed as an ordinary Tcl procedure (the current line of
+	// execution is marked with a tag, as §6 describes).
+	editor.MustEval(`
+		wm title . editor
+		wm geometry . +20+40
+		text .text -width 32 -height 8
+		pack append . .text {top expand fill}
+		.text insert end "int main(void) \{\n    int x = compute();\n    print_result(x);\n    return 0;\n\}"
+		proc highlight {line} {
+			.text tag remove pc
+			.text tag add pc $line.0 $line.end
+			.text tag configure pc -background LightSteelBlue
+			return "highlighted line $line"
+		}
+	`)
+
+	// --- The debugger: breakpoint state plus primitives.
+	debugger.MustEval(`
+		wm title . debugger
+		wm geometry . +20+300
+		label .status -text "debugger: stopped"
+		pack append . .status {top fillx}
+		set breakpoints {}
+		proc break_at {line} {
+			global breakpoints
+			lappend breakpoints $line
+			return "breakpoint set at line $line"
+		}
+		proc stopped_at {line} {
+			.status configure -text "debugger: stopped at line $line"
+			send editor [list highlight $line]
+		}
+	`)
+
+	// In real life each application runs MainLoop in its own process.
+	// Here, while one application performs a send, the other's event
+	// loop is pumped in the background so it can answer.
+	withPump := func(pumped *core.App, fn func()) {
+		stop := pumped.StartServing()
+		fn()
+		stop()
+	}
+
+	// 1. The debugger hits a breakpoint and highlights the line in the
+	//    editor — one send, nested inside a Tcl procedure.
+	withPump(editor, func() {
+		debugger.MustEval(`stopped_at 2`)
+	})
+	fmt.Println("debugger:", debugger.MustEval(`lindex [.status configure -text] 4`))
+
+	// 2. The editor (say, a key binding on a selected line) sets a
+	//    breakpoint in the debugger.
+	withPump(debugger, func() {
+		editor.MustEval(`set reply [send debugger {break_at 3}]`)
+	})
+	fmt.Println("editor got:", editor.MustEval(`set reply`))
+
+	fmt.Println("debugger breakpoints:", debugger.MustEval(`set breakpoints`))
+	fmt.Println("editor highlighted:  ", editor.MustEval(`.text tag names`))
+
+	// 3. winfo interps shows both applications on the display (§6's
+	//    registry).
+	fmt.Println("registered interpreters:", debugger.MustEval(`winfo interps`))
+
+	if err := debugger.ScreenshotPPM("", "duo.ppm"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote duo.ppm (both applications on the shared screen)")
+}

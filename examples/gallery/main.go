@@ -1,0 +1,98 @@
+// Gallery: every widget class in the set (§7 lists them: panes/frames,
+// labels, buttons, check buttons, radio buttons, messages, listboxes,
+// scrollbars, scales — plus the entries and menus the paper was still
+// writing, and the canvas it planned). Built entirely from Tcl, driven
+// with synthetic input, and captured to gallery.ppm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	app, err := core.NewApp(core.Options{Name: "gallery"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Close()
+
+	app.MustEval(`
+		wm title . "Widget Gallery"
+
+		frame .left -borderwidth 2 -relief ridge
+		frame .right -borderwidth 2 -relief ridge
+		pack append . .left {left fill} .right {right expand fill}
+
+		label .left.title -text "Controls"
+		button .left.go -text "Go" -command {set status pressed}
+		checkbutton .left.verbose -text "Verbose" -variable verbose
+		radiobutton .left.fast -text "Fast" -variable speed -value fast
+		radiobutton .left.slow -text "Slow" -variable speed -value slow
+		scale .left.volume -from 0 -to 10 -length 90 -label Volume
+		entry .left.name -width 14
+		menubutton .left.file -text "File" -menu .left.file.m
+		menu .left.file.m
+		.left.file.m add command -label "Open" -command {set status open}
+		.left.file.m add separator
+		.left.file.m add command -label "Quit" -command {destroy .}
+		pack append .left \
+			.left.title {top fillx} \
+			.left.file {top fillx} \
+			.left.go {top fillx pady 2} \
+			.left.verbose {top frame w} \
+			.left.fast {top frame w} \
+			.left.slow {top frame w} \
+			.left.volume {top pady 4} \
+			.left.name {top pady 2}
+
+		message .right.blurb -width 190 -text "Tk widgets are created and\
+ manipulated with Tcl commands; this whole window is one script."
+		scrollbar .right.sb -command ".right.list view"
+		listbox .right.list -scroll ".right.sb set" -geometry 18x6
+		text .right.note -width 25 -height 2
+		canvas .right.art -width 150 -height 70 -background white
+		pack append .right \
+			.right.blurb {top fillx} \
+			.right.sb {right filly} \
+			.right.art {bottom} \
+			.right.note {bottom fillx} \
+			.right.list {top expand fill}
+
+		.right.note insert end "text widget with a tag"
+		.right.note tag add hl 1.17 1.20
+		.right.note tag configure hl -background Gold
+
+		foreach w {frame label button checkbutton radiobutton message
+		           listbox scrollbar scale entry menu menubutton canvas text} {
+			.right.list insert end $w
+		}
+		.right.art create rectangle 10 10 60 60 -fill SteelBlue
+		.right.art create oval 55 15 140 60 -fill Gold
+		.right.art create text 35 30 -text "canvas" -fill white
+	`)
+	app.Update()
+
+	// Exercise a few widgets from Tcl.
+	app.MustEval(`.left.go invoke`)
+	app.MustEval(`.left.verbose invoke`)
+	app.MustEval(`.left.fast invoke`)
+	app.MustEval(`.left.volume set 7`)
+	app.MustEval(`.left.name insert 0 "wish"`)
+	app.MustEval(`.right.list select from 2`)
+	app.MustEval(`.right.list select to 4`)
+	app.Update()
+
+	fmt.Println("status: ", app.MustEval(`set status`))
+	fmt.Println("speed:  ", app.MustEval(`set speed`))
+	fmt.Println("volume: ", app.MustEval(`.left.volume get`))
+	fmt.Println("name:   ", app.MustEval(`.left.name get`))
+	fmt.Println("picked: ", app.MustEval(`selection get`))
+
+	if err := app.ScreenshotPPM(".", "gallery.ppm"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote gallery.ppm")
+}

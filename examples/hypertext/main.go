@@ -1,0 +1,103 @@
+// Hypertext: the paper's §6 sketch of active objects — "a hypertext
+// system can be implemented by associating Tcl commands with pieces of
+// text or graphics in an editor; when a mouse button is clicked over an
+// item then the associated commands are executed."
+//
+// The document below is a column of label widgets; "links" are labels
+// whose associated Tcl command was bound to Button-1. One link opens a
+// new view (a toplevel window); another "plays" media by sending a
+// command to a separate jukebox application on the same display — the
+// paper's hypermedia link.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/xserver"
+)
+
+func main() {
+	srv := xserver.New(1024, 768)
+	defer srv.Close()
+
+	doc, err := core.NewAppOnServer(srv, "document", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer doc.Close()
+	jukebox, err := core.NewAppOnServer(srv, "jukebox", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer jukebox.Close()
+
+	// The jukebox application: one primitive, "play". Its window is
+	// placed away from the document so the two don't overlap on the
+	// shared screen.
+	jukebox.MustEval(`
+		wm title . jukebox
+		wm geometry . +500+50
+		set nowPlaying ""
+		proc play {what} {
+			global nowPlaying
+			set nowPlaying $what
+			return "playing $what"
+		}
+	`)
+	jukebox.Update()
+
+	// The document: plain text plus two active items.
+	doc.MustEval(`
+		wm title . hypertext
+		wm geometry . +20+50
+		label .t1 -text "Tk lets applications embed"
+		label .link1 -text {[open a new view]} -fg blue
+		label .t2 -text "commands in text, and even"
+		label .link2 -text {[play the demo recording]} -fg blue
+		pack append . .t1 {top frame w} .link1 {top frame w} .t2 {top frame w} .link2 {top frame w}
+
+		# A hypertext link: a Tcl command that opens a new view.
+		bind .link1 <Button-1> {
+			toplevel .view -width 10 -height 10
+			wm geometry .view +250+250
+			label .view.body -text "This is the linked view."
+			pack append .view .view.body {top}
+			set opened 1
+		}
+		# A hypermedia link: send a play command to the audio application.
+		bind .link2 <Button-1> {
+			set playResult [send jukebox {play "demo recording"}]
+		}
+	`)
+	doc.Update()
+
+	clickOn := func(path string) {
+		w, err := doc.NameToWindow(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rx, ry := w.RootCoords()
+		doc.Disp.WarpPointer(rx+5, ry+5)
+		doc.Disp.FakeButton(1, true)
+		doc.Disp.FakeButton(1, false)
+		doc.Update()
+	}
+
+	// Follow the hypertext link.
+	clickOn(".link1")
+	fmt.Println("clicked link 1; new view exists:", doc.MustEval(`winfo exists .view`))
+
+	// Follow the hypermedia link; the jukebox must be pumping its loop.
+	stop := jukebox.StartServing()
+	clickOn(".link2")
+	stop()
+	fmt.Println("clicked link 2; document saw:", doc.MustEval(`set playResult`))
+	fmt.Println("jukebox state:", jukebox.MustEval(`set nowPlaying`))
+
+	if err := doc.ScreenshotPPM("", "hypertext.ppm"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote hypertext.ppm")
+}

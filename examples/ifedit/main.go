@@ -1,0 +1,127 @@
+// Ifedit: the paper's §6 interface-editor scenario — "with Tk and send it
+// becomes possible for an interface editor to work on live applications,
+// using send to query and modify the application's interface ... When a
+// satisfactory interface has been created, the interface editor can
+// produce a Tcl command file for the application to read at startup time
+// to configure its interface in the future."
+//
+// A target application runs a small form; the "editor" (a second
+// application with no prior knowledge of the target) discovers the
+// widget tree with send, edits a label and the layout live, then emits
+// interface.tcl — a script that recreates the edited interface.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/tcl"
+	"repro/internal/xserver"
+)
+
+func main() {
+	srv := xserver.New(1024, 768)
+	defer srv.Close()
+
+	target, err := core.NewAppOnServer(srv, "app", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer target.Close()
+	editor, err := core.NewAppOnServer(srv, "editor", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer editor.Close()
+
+	// The application being edited.
+	target.MustEval(`
+		wm title . "Sign-up"
+		label .title -text "Sign up"
+		entry .name -width 20
+		button .ok -text Submit -command {print submitted\n}
+		button .cancel -text Cancel -command {destroy .}
+		pack append . .title {top fillx} .name {top} .ok {left expand} .cancel {right expand}
+	`)
+	target.Update()
+
+	stop := target.StartServing()
+	defer stop()
+
+	send := func(cmd string) string {
+		res, err := editor.Send("app", cmd)
+		if err != nil {
+			log.Fatalf("send %q: %v", cmd, err)
+		}
+		return res
+	}
+
+	// 1. Discover the live interface.
+	children, _ := tcl.ParseList(send(`winfo children .`))
+	fmt.Println("live widget tree:")
+	for _, c := range children {
+		fmt.Printf("  %-9s %s\n", c, send(`winfo class `+c))
+	}
+
+	// 2. Edit it live: relabel the button, restyle the title, rearrange.
+	send(`.ok configure -text "Create account"`)
+	send(`.title configure -relief ridge -borderwidth 3`)
+	send(`pack unpack .cancel`)
+	send(`pack append . .cancel {bottom fillx}`)
+	fmt.Println("\nedited live: button text =", send(`lindex [.ok configure -text] 4`))
+
+	// 3. Emit a startup script reproducing the edited interface.
+	var script strings.Builder
+	script.WriteString("# interface configuration produced by ifedit\n")
+	for _, c := range children {
+		class := send(`winfo class ` + c)
+		script.WriteString(strings.ToLower(class) + " " + c)
+		// Record every option whose current value differs from its
+		// default (the configure introspection gives both).
+		optTuples, _ := tcl.ParseList(send(c + ` configure`))
+		for _, tup := range optTuples {
+			fields, _ := tcl.ParseList(tup)
+			if len(fields) != 5 {
+				continue // synonym entries
+			}
+			name, def, cur := fields[0], fields[3], fields[4]
+			if cur != def {
+				script.WriteString(" " + name + " " + tcl.QuoteElement(cur))
+			}
+		}
+		script.WriteString("\n")
+	}
+	// Layout, from pack info.
+	packPairs, _ := tcl.ParseList(send(`pack info .`))
+	script.WriteString("pack append .")
+	for i := 0; i+1 < len(packPairs); i += 2 {
+		script.WriteString(" " + packPairs[i] + " " + tcl.QuoteElement(packPairs[i+1]))
+	}
+	script.WriteString("\n")
+
+	if err := os.WriteFile("interface.tcl", []byte(script.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote interface.tcl:")
+	fmt.Println(script.String())
+
+	// 4. Prove the script works: build a fresh application from it.
+	fresh, err := core.NewAppOnServer(srv, "fresh", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fresh.Close()
+	fresh.MustEval(`wm geometry . +400+50`)
+	fresh.MustEval(script.String())
+	fresh.Update()
+	fmt.Println("fresh app children:", fresh.MustEval(`winfo children .`))
+	fmt.Println("fresh app button: ", fresh.MustEval(`lindex [.ok configure -text] 4`))
+
+	if err := fresh.ScreenshotPPM("", "ifedit.ppm"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote ifedit.ppm")
+}

@@ -1,0 +1,99 @@
+// Paint: the paper's §7 performance scenario, working end to end — "it
+// is possible to paint with the mouse in one application, have all the
+// mouse motion events bound into Tcl commands, which in turn use send to
+// forward commands to another application in a different process, which
+// finally draws the painted object in its own window".
+//
+// Here the "pad" application binds <B1-Motion> on its canvas to a Tcl
+// command that both draws locally and forwards the stroke with send to
+// the "mirror" application, which draws it in its own canvas. The mouse
+// is driven synthetically; both screens end up with the same stroke, and
+// the round-trip rate is reported.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xserver"
+)
+
+func main() {
+	srv := xserver.New(1024, 768)
+	defer srv.Close()
+
+	pad, err := core.NewAppOnServer(srv, "pad", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pad.Close()
+	mirror, err := core.NewAppOnServer(srv, "mirror", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mirror.Close()
+
+	mirror.MustEval(`
+		wm title . mirror
+		wm geometry . +500+50
+		canvas .c -width 300 -height 200
+		pack append . .c {top}
+		set strokes 0
+		proc stroke {x0 y0 x1 y1} {
+			global strokes
+			.c create line $x0 $y0 $x1 $y1 -width 2 -fill navy
+			incr strokes
+		}
+	`)
+	mirror.Update()
+
+	pad.MustEval(`
+		wm title . pad
+		wm geometry . +50+50
+		canvas .c -width 300 -height 200
+		pack append . .c {top}
+		set lastX -1
+		bind .c <Button-1> {set lastX %x; set lastY %y}
+		bind .c <B1-Motion> {
+			.c create line $lastX $lastY %x %y -width 2 -fill navy
+			send mirror [list stroke $lastX $lastY %x %y]
+			set lastX %x; set lastY %y
+		}
+	`)
+	pad.Update()
+
+	// Drive the mouse through a zig-zag stroke while the mirror serves.
+	stop := mirror.StartServing()
+	w, _ := pad.NameToWindow(".c")
+	rx, ry := w.RootCoords()
+	start := time.Now()
+	pad.Disp.WarpPointer(rx+20, ry+20)
+	pad.Disp.FakeButton(1, true)
+	pad.Update()
+	points := 0
+	for i := 1; i <= 40; i++ {
+		x := 20 + i*6
+		y := 20 + (i%2)*80 + i*2
+		pad.Disp.WarpPointer(rx+x, ry+y)
+		pad.Update() // binding fires: local draw + send to mirror
+		points++
+	}
+	pad.Disp.FakeButton(1, false)
+	pad.Update()
+	stop()
+	elapsed := time.Since(start)
+
+	strokes := mirror.MustEval(`set strokes`)
+	fmt.Printf("forwarded %s strokes in %v (%.0f strokes/sec)\n",
+		strokes, elapsed.Round(time.Millisecond),
+		float64(points)/elapsed.Seconds())
+	fmt.Println("pad items:   ", pad.MustEval(`.c find withtag all`))
+	fmt.Println("mirror items:", mirror.MustEval(`.c find withtag all`))
+
+	if err := pad.ScreenshotPPM("", "paint.ppm"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote paint.ppm (both canvases, same stroke)")
+}

@@ -1,0 +1,232 @@
+package baseline
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/xclient"
+	"repro/internal/xproto"
+)
+
+// gcv builds GC values for a fg/bg/font triple. The baseline allocates
+// and frees GCs per redisplay — it has no resource caches (§3.3 is a Tk
+// intrinsic), which the cache benchmarks expose.
+func gcv(fg, bg uint32, font xproto.ID) xclient.GCValues {
+	return xclient.GCValues{
+		Mask:       xproto.GCForeground | xproto.GCBackground | xproto.GCFont,
+		Foreground: fg, Background: bg, Font: font,
+	}
+}
+
+// This file defines the baseline's widget classes: Command (push button),
+// BaselineScrollbar, and BaselineList — the three modules Table I sizes.
+// Note the structural contrast with internal/widget: each class needs
+// named action procedures (Arm/Disarm/Notify...), a translation table to
+// reach them, and callback lists to reach application code; connecting a
+// scrollbar to a list takes compiled glue registered by the application,
+// where Tk's version is the one-line Tcl string ".list view".
+
+// CommandClass is the push-button class (Xt's Command widget).
+var CommandClass = &Class{
+	Name: "Command",
+	Resources: map[string]string{
+		"label":      "button",
+		"background": "0xffe4c4",
+		"foreground": "0x000000",
+	},
+	DefaultTranslations: `
+		<EnterWindow>: Highlight()
+		<LeaveWindow>: Reset()
+		<Btn1Down>: Arm()
+		<Btn1Up>: Notify() Disarm()
+	`,
+	Actions: map[string]ActionProc{
+		"Highlight": func(w *Widget, ev *xproto.Event, params []string) {
+			w.State["highlight"] = 1
+			w.Redisplay()
+		},
+		"Reset": func(w *Widget, ev *xproto.Event, params []string) {
+			w.State["highlight"] = 0
+			w.Armed = false
+			w.Redisplay()
+		},
+		"Arm": func(w *Widget, ev *xproto.Event, params []string) {
+			w.Armed = true
+			w.Redisplay()
+		},
+		"Disarm": func(w *Widget, ev *xproto.Event, params []string) {
+			w.Armed = false
+			w.Redisplay()
+		},
+		"Notify": func(w *Widget, ev *xproto.Event, params []string) {
+			if w.Armed {
+				w.CallCallbacks("callback", nil)
+			}
+		},
+	},
+	Initialize: func(w *Widget) {
+		f := w.tk.Font()
+		label := w.resources["label"]
+		w.Width = f.TextWidth(label) + 12
+		w.Height = f.LineHeight() + 8
+		w.tk.Disp.ResizeWindow(w.xid, w.Width, w.Height)
+	},
+	Redisplay: func(w *Widget) {
+		d := w.tk.Disp
+		f := w.tk.Font()
+		bg := parsePixel(w.resources["background"])
+		fg := parsePixel(w.resources["foreground"])
+		if w.State["highlight"] != 0 {
+			bg = bg - 0x101010&bg // crude darken
+		}
+		gcBG := d.CreateGC(gcv(bg, bg, f.ID))
+		d.FillRectangle(w.xid, gcBG, 0, 0, w.Width, w.Height)
+		gcFG := d.CreateGC(gcv(fg, bg, f.ID))
+		label := w.resources["label"]
+		x := (w.Width - f.TextWidth(label)) / 2
+		y := (w.Height+f.Ascent)/2 - 1
+		d.DrawString(w.xid, gcFG, x, y, label)
+		if w.Armed {
+			d.DrawRectangle(w.xid, gcFG, 0, 0, w.Width-1, w.Height-1)
+		}
+		d.FreeGC(gcBG)
+		d.FreeGC(gcFG)
+	},
+}
+
+// ScrollbarClass is a vertical scrollbar; the application hears about
+// scrolling through the "scrollProc" callback, whose callData is the new
+// top unit (int).
+var ScrollbarClass = &Class{
+	Name: "BaselineScrollbar",
+	Resources: map[string]string{
+		"total":      "1",
+		"window":     "1",
+		"first":      "0",
+		"background": "0xffe4c4",
+	},
+	DefaultTranslations: `
+		<Btn1Down>: StartScroll()
+		<Motion>: MoveThumb()
+		<Btn1Up>: NotifyScroll() EndScroll()
+	`,
+	Actions: map[string]ActionProc{
+		"StartScroll": func(w *Widget, ev *xproto.Event, params []string) {
+			w.State["scrolling"] = 1
+			w.State["target"] = scrollbarUnitAt(w, int(ev.Y))
+		},
+		"MoveThumb": func(w *Widget, ev *xproto.Event, params []string) {
+			if w.State["scrolling"] != 0 {
+				w.State["target"] = scrollbarUnitAt(w, int(ev.Y))
+			}
+		},
+		"NotifyScroll": func(w *Widget, ev *xproto.Event, params []string) {
+			if w.State["scrolling"] != 0 {
+				w.CallCallbacks("scrollProc", w.State["target"])
+			}
+		},
+		"EndScroll": func(w *Widget, ev *xproto.Event, params []string) {
+			w.State["scrolling"] = 0
+		},
+	},
+	Initialize: func(w *Widget) {
+		w.Width, w.Height = 15, 100
+		w.tk.Disp.ResizeWindow(w.xid, w.Width, w.Height)
+	},
+	Redisplay: func(w *Widget) {
+		d := w.tk.Disp
+		bg := parsePixel(w.resources["background"])
+		gc := d.CreateGC(gcv(bg, bg, 0))
+		d.FillRectangle(w.xid, gc, 0, 0, w.Width, w.Height)
+		total := atoiDefault(w.resources["total"], 1)
+		window := atoiDefault(w.resources["window"], 1)
+		first := atoiDefault(w.resources["first"], 0)
+		gcT := d.CreateGC(gcv(0x808080, bg, 0))
+		top := first * w.Height / max(total, 1)
+		span := max(window*w.Height/max(total, 1), 6)
+		d.FillRectangle(w.xid, gcT, 2, top, w.Width-4, span)
+		d.FreeGC(gc)
+		d.FreeGC(gcT)
+	},
+}
+
+// ListClass is a minimal list display; selection notifies "select"
+// callbacks with the item index.
+var ListClass = &Class{
+	Name: "BaselineList",
+	Resources: map[string]string{
+		"items":      "",
+		"first":      "0",
+		"background": "0xffffff",
+		"foreground": "0x000000",
+	},
+	DefaultTranslations: `
+		<Btn1Down>: Set()
+		<Btn1Up>: NotifySelect()
+	`,
+	Actions: map[string]ActionProc{
+		"Set": func(w *Widget, ev *xproto.Event, params []string) {
+			lh := w.tk.Font().LineHeight() + 2
+			w.State["selected"] = atoiDefault(w.resources["first"], 0) + int(ev.Y)/lh
+			w.Redisplay()
+		},
+		"NotifySelect": func(w *Widget, ev *xproto.Event, params []string) {
+			w.CallCallbacks("select", w.State["selected"])
+		},
+	},
+	Initialize: func(w *Widget) {
+		f := w.tk.Font()
+		w.Width = 20*f.TextWidth("0") + 6
+		w.Height = 10 * (f.LineHeight() + 2)
+		w.tk.Disp.ResizeWindow(w.xid, w.Width, w.Height)
+	},
+	Redisplay: func(w *Widget) {
+		d := w.tk.Disp
+		f := w.tk.Font()
+		bg := parsePixel(w.resources["background"])
+		fg := parsePixel(w.resources["foreground"])
+		gcBG := d.CreateGC(gcv(bg, bg, f.ID))
+		d.FillRectangle(w.xid, gcBG, 0, 0, w.Width, w.Height)
+		gcFG := d.CreateGC(gcv(fg, bg, f.ID))
+		items := strings.Fields(w.resources["items"])
+		first := atoiDefault(w.resources["first"], 0)
+		lh := f.LineHeight() + 2
+		y := f.Ascent + 1
+		for i := first; i < len(items) && y < w.Height; i++ {
+			d.DrawString(w.xid, gcFG, 3, y, items[i])
+			y += lh
+		}
+		d.FreeGC(gcBG)
+		d.FreeGC(gcFG)
+	},
+}
+
+func scrollbarUnitAt(w *Widget, y int) int {
+	total := atoiDefault(w.resources["total"], 1)
+	if w.Height < 1 {
+		return 0
+	}
+	u := y * total / w.Height
+	if u < 0 {
+		u = 0
+	}
+	if u >= total {
+		u = total - 1
+	}
+	return u
+}
+
+func parsePixel(s string) uint32 {
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0
+	}
+	return uint32(v)
+}
+
+func atoiDefault(s string, def int) int {
+	if n, err := strconv.Atoi(s); err == nil {
+		return n
+	}
+	return def
+}

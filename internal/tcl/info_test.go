@@ -1,0 +1,95 @@
+package tcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInfoGlobalsAndLocals(t *testing.T) {
+	in := New()
+	evalOK(t, in, "set gv 1")
+	globals := evalOK(t, in, "info globals")
+	if !strings.Contains(globals, "gv") || !strings.Contains(globals, "env") {
+		t.Fatalf("info globals = %q", globals)
+	}
+	// Pattern filtering.
+	if got := evalOK(t, in, "info globals gv"); got != "gv" {
+		t.Fatalf("filtered globals = %q", got)
+	}
+	// Locals inside a procedure.
+	evalOK(t, in, `proc p {a b} {set c 3; return [info locals]}`)
+	locals := evalOK(t, in, "p 1 2")
+	for _, want := range []string{"a", "b", "c"} {
+		if !strings.Contains(locals, want) {
+			t.Fatalf("info locals = %q, missing %q", locals, want)
+		}
+	}
+	// At global level, locals is empty.
+	if got := evalOK(t, in, "info locals"); got != "" {
+		t.Fatalf("global-level locals = %q", got)
+	}
+	// info vars at global scope sees globals.
+	if !strings.Contains(evalOK(t, in, "info vars"), "gv") {
+		t.Fatal("info vars")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		OK: "ok", ErrorStatus: "error", ReturnStatus: "return",
+		BreakStatus: "break", ContinueStatus: "continue", Status(99): "status-99",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("Status(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestErrorType(t *testing.T) {
+	in := New()
+	_, err := in.Eval(`error "boom"`)
+	te, ok := err.(*Error)
+	if !ok || te.Error() != "boom" || te.Code != ErrorStatus {
+		t.Fatalf("error = %#v", err)
+	}
+	// error with explicit errorInfo.
+	_, err = in.Eval(`error msg {custom info}`)
+	te = err.(*Error)
+	if te.Info != "custom info" {
+		t.Fatalf("errorInfo = %q", te.Info)
+	}
+}
+
+func TestCommandNames(t *testing.T) {
+	in := New()
+	names := in.CommandNames()
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"set", "proc", "expr", "regexp", "pack"} {
+		if want == "pack" {
+			continue // pack is a Tk command, not a Tcl one
+		}
+		if !found[want] {
+			t.Errorf("CommandNames missing %q", want)
+		}
+	}
+}
+
+func TestUnsetArrayWhole(t *testing.T) {
+	in := New()
+	evalOK(t, in, "set a(x) 1; set a(y) 2")
+	evalOK(t, in, "unset a")
+	expect(t, in, "array exists a", "0")
+	expect(t, in, "info exists a", "0")
+}
+
+func TestInfoExistsArrayForms(t *testing.T) {
+	in := New()
+	evalOK(t, in, "set arr(k) v")
+	expect(t, in, "info exists arr", "1")
+	expect(t, in, "info exists arr(k)", "1")
+	expect(t, in, "info exists arr(nope)", "0")
+}

@@ -1,0 +1,179 @@
+package tcl
+
+import (
+	"strings"
+)
+
+// ParseList splits a Tcl list into its elements. Elements are separated
+// by white space; braces and double quotes group elements; backslash
+// sequences inside bare or quoted elements are substituted.
+func ParseList(s string) ([]string, error) {
+	var elems []string
+	i := 0
+	n := len(s)
+	for {
+		for i < n && isListSpace(s[i]) {
+			i++
+		}
+		if i >= n {
+			return elems, nil
+		}
+		switch s[i] {
+		case '{':
+			depth := 1
+			j := i + 1
+			var b strings.Builder
+			for j < n {
+				c := s[j]
+				if c == '\\' && j+1 < n {
+					b.WriteByte(c)
+					b.WriteByte(s[j+1])
+					j += 2
+					continue
+				}
+				if c == '{' {
+					depth++
+				} else if c == '}' {
+					depth--
+					if depth == 0 {
+						break
+					}
+				}
+				b.WriteByte(c)
+				j++
+			}
+			if depth != 0 {
+				return nil, errf("unmatched open brace in list")
+			}
+			j++ // past '}'
+			if j < n && !isListSpace(s[j]) {
+				return nil, errf("list element in braces followed by %q instead of space", s[j:])
+			}
+			elems = append(elems, b.String())
+			i = j
+		case '"':
+			j := i + 1
+			var b strings.Builder
+			closed := false
+			for j < n {
+				c := s[j]
+				if c == '\\' && j+1 < n {
+					b.WriteString(backslashSubstOne(s[j+1:], &j))
+					continue
+				}
+				if c == '"' {
+					closed = true
+					j++
+					break
+				}
+				b.WriteByte(c)
+				j++
+			}
+			if !closed {
+				return nil, errf("unmatched open quote in list")
+			}
+			if j < n && !isListSpace(s[j]) {
+				return nil, errf("list element in quotes followed by %q instead of space", s[j:])
+			}
+			elems = append(elems, b.String())
+			i = j
+		default:
+			j := i
+			var b strings.Builder
+			for j < n && !isListSpace(s[j]) {
+				c := s[j]
+				if c == '\\' && j+1 < n {
+					b.WriteString(backslashSubstOne(s[j+1:], &j))
+					continue
+				}
+				b.WriteByte(c)
+				j++
+			}
+			elems = append(elems, b.String())
+			i = j
+		}
+	}
+}
+
+// backslashSubstOne substitutes the backslash sequence whose first byte
+// after the backslash is rest[0]. j points at the backslash in the outer
+// string and is advanced past the whole sequence.
+func backslashSubstOne(rest string, j *int) string {
+	p := &parser{src: "\\" + rest}
+	out, _ := p.parseBackslash()
+	*j += p.pos
+	return out
+}
+
+func isListSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f'
+}
+
+// QuoteElement converts a string into a form suitable for inclusion as a
+// single element of a Tcl list (adding braces or backslashes as needed).
+func QuoteElement(s string) string {
+	if s == "" {
+		return "{}"
+	}
+	needQuote := false
+	braceOK := true
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\r', '\v', '\f', ';', '$', '[', ']', '"':
+			needQuote = true
+		case '\\':
+			needQuote = true
+			braceOK = false
+		case '{':
+			needQuote = true
+			depth++
+		case '}':
+			needQuote = true
+			depth--
+			if depth < 0 {
+				braceOK = false
+			}
+		}
+	}
+	if depth != 0 {
+		braceOK = false
+	}
+	if s[0] == '{' || s[0] == '"' {
+		needQuote = true
+	}
+	if !needQuote {
+		return s
+	}
+	if braceOK {
+		return "{" + s + "}"
+	}
+	// Backslash-quote every special character.
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case ' ', '\t', ';', '$', '[', ']', '"', '\\', '{', '}':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString("\\n")
+		case '\r':
+			b.WriteString("\\r")
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// FormatList joins elements into a well-formed Tcl list string.
+func FormatList(elems []string) string {
+	var b strings.Builder
+	for i, e := range elems {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(QuoteElement(e))
+	}
+	return b.String()
+}

@@ -1,0 +1,478 @@
+package tcl
+
+import (
+	"strings"
+)
+
+// parser walks a script, producing one fully substituted command at a
+// time. Substitution happens during parsing, as in the original
+// string-based Tcl: there is no intermediate representation.
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte { return p.src[p.pos] }
+
+// nextCommand returns the next command's words after substitution. ok is
+// false at end of script.
+func (p *parser) nextCommand(in *Interp) (words []string, ok bool, err error) {
+	// Skip command separators and blank space before the command.
+	for !p.eof() {
+		c := p.peek()
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';' {
+			p.pos++
+			continue
+		}
+		if c == '\\' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n' {
+			p.pos += 2
+			continue
+		}
+		break
+	}
+	if p.eof() {
+		return nil, false, nil
+	}
+	// A '#' at command start introduces a comment to end of line.
+	if p.peek() == '#' {
+		for !p.eof() {
+			c := p.peek()
+			if c == '\\' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n' {
+				p.pos += 2
+				continue
+			}
+			p.pos++
+			if c == '\n' {
+				break
+			}
+		}
+		return p.nextCommand(in)
+	}
+
+	for {
+		// Skip blanks between words (backslash-newline is a blank).
+		for !p.eof() {
+			c := p.peek()
+			if c == ' ' || c == '\t' || c == '\r' {
+				p.pos++
+				continue
+			}
+			if c == '\\' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n' {
+				p.pos += 2
+				continue
+			}
+			break
+		}
+		if p.eof() {
+			break
+		}
+		c := p.peek()
+		if c == '\n' || c == ';' {
+			p.pos++
+			break
+		}
+		var w string
+		var werr error
+		switch c {
+		case '{':
+			w, werr = p.parseBraced()
+		case '"':
+			w, werr = p.parseQuoted(in)
+		default:
+			w, werr = p.parseBare(in)
+		}
+		if werr != nil {
+			return nil, false, werr
+		}
+		words = append(words, w)
+	}
+	return words, true, nil
+}
+
+// parseBraced consumes a {...} word. Contents are passed through
+// verbatim, except that backslash-newline (plus following blanks) becomes
+// a single space, matching Tcl semantics.
+func (p *parser) parseBraced() (string, error) {
+	p.pos++ // consume '{'
+	depth := 1
+	var b strings.Builder
+	for !p.eof() {
+		c := p.peek()
+		switch c {
+		case '\\':
+			if p.pos+1 < len(p.src) {
+				if p.src[p.pos+1] == '\n' {
+					// Backslash-newline: substitute a space even inside
+					// braces (the one substitution braces don't suppress).
+					b.WriteByte(' ')
+					p.pos += 2
+					for !p.eof() && (p.peek() == ' ' || p.peek() == '\t') {
+						p.pos++
+					}
+					continue
+				}
+				b.WriteByte(c)
+				b.WriteByte(p.src[p.pos+1])
+				p.pos += 2
+				continue
+			}
+			b.WriteByte(c)
+			p.pos++
+		case '{':
+			depth++
+			b.WriteByte(c)
+			p.pos++
+		case '}':
+			depth--
+			p.pos++
+			if depth == 0 {
+				if !p.eof() {
+					n := p.peek()
+					if n != ' ' && n != '\t' && n != '\n' && n != '\r' && n != ';' && n != ']' {
+						return "", errf("extra characters after close-brace")
+					}
+				}
+				return b.String(), nil
+			}
+			b.WriteByte('}')
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return "", errf("missing close-brace")
+}
+
+// parseQuoted consumes a "..." word, performing $, [] and backslash
+// substitution on the contents.
+func (p *parser) parseQuoted(in *Interp) (string, error) {
+	p.pos++ // consume '"'
+	var b strings.Builder
+	for !p.eof() {
+		c := p.peek()
+		switch c {
+		case '"':
+			p.pos++
+			if !p.eof() {
+				n := p.peek()
+				if n != ' ' && n != '\t' && n != '\n' && n != '\r' && n != ';' && n != ']' {
+					return "", errf("extra characters after close-quote")
+				}
+			}
+			return b.String(), nil
+		case '$':
+			s, err := p.parseVarSubst(in)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		case '[':
+			s, err := p.parseCommandSubst(in)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		case '\\':
+			s, err := p.parseBackslash()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return "", errf("missing \"")
+}
+
+// parseBare consumes an unquoted word, performing substitutions.
+func (p *parser) parseBare(in *Interp) (string, error) {
+	var b strings.Builder
+	for !p.eof() {
+		c := p.peek()
+		switch c {
+		case ' ', '\t', '\n', '\r', ';':
+			return b.String(), nil
+		case '$':
+			s, err := p.parseVarSubst(in)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		case '[':
+			s, err := p.parseCommandSubst(in)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		case '\\':
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n' {
+				return b.String(), nil
+			}
+			s, err := p.parseBackslash()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		case ']':
+			// ']' terminates a word only inside command substitution;
+			// the command-substitution scanner never hands us one, so a
+			// bare ']' here is ordinary text.
+			b.WriteByte(c)
+			p.pos++
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return b.String(), nil
+}
+
+// parseVarSubst handles $name, ${name} and $name(index) starting at '$'.
+// A lone '$' not followed by a variable name is literal.
+func (p *parser) parseVarSubst(in *Interp) (string, error) {
+	start := p.pos
+	p.pos++ // consume '$'
+	if p.eof() {
+		return "$", nil
+	}
+	if p.peek() == '{' {
+		p.pos++
+		end := strings.IndexByte(p.src[p.pos:], '}')
+		if end < 0 {
+			return "", errf("missing close-brace for variable name")
+		}
+		name := p.src[p.pos : p.pos+end]
+		p.pos += end + 1
+		return in.varRead(name, "")
+	}
+	nameStart := p.pos
+	for !p.eof() && isVarNameChar(p.peek()) {
+		p.pos++
+	}
+	name := p.src[nameStart:p.pos]
+	if name == "" {
+		p.pos = start + 1
+		return "$", nil
+	}
+	if !p.eof() && p.peek() == '(' {
+		// Array reference: the index itself undergoes substitution.
+		p.pos++
+		var idx strings.Builder
+		depth := 1
+		for {
+			if p.eof() {
+				return "", errf("missing )")
+			}
+			c := p.peek()
+			switch c {
+			case ')':
+				depth--
+				p.pos++
+				if depth == 0 {
+					return in.varRead(name, idx.String())
+				}
+				idx.WriteByte(')')
+			case '(':
+				depth++
+				idx.WriteByte('(')
+				p.pos++
+			case '$':
+				s, err := p.parseVarSubst(in)
+				if err != nil {
+					return "", err
+				}
+				idx.WriteString(s)
+			case '[':
+				s, err := p.parseCommandSubst(in)
+				if err != nil {
+					return "", err
+				}
+				idx.WriteString(s)
+			case '\\':
+				s, err := p.parseBackslash()
+				if err != nil {
+					return "", err
+				}
+				idx.WriteString(s)
+			default:
+				idx.WriteByte(c)
+				p.pos++
+			}
+		}
+	}
+	return in.varRead(name, "")
+}
+
+func isVarNameChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// parseCommandSubst handles [script] starting at '['. The bracketed text
+// is located by bracket matching (skipping braces, quotes and
+// backslashes) and evaluated recursively.
+func (p *parser) parseCommandSubst(in *Interp) (string, error) {
+	open := p.pos
+	p.pos++ // consume '['
+	depth := 1
+	i := p.pos
+	for i < len(p.src) {
+		switch p.src[i] {
+		case '\\':
+			i += 2
+			continue
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth == 0 {
+				script := p.src[p.pos:i]
+				p.pos = i + 1
+				return in.Eval(script)
+			}
+		case '{':
+			j, err := skipBraces(p.src, i)
+			if err != nil {
+				return "", err
+			}
+			i = j
+			continue
+		}
+		i++
+	}
+	p.pos = open
+	return "", errf("missing close-bracket")
+}
+
+// skipBraces returns the index just past the brace group opening at
+// src[i] == '{'.
+func skipBraces(src string, i int) (int, error) {
+	depth := 0
+	for i < len(src) {
+		switch src[i] {
+		case '\\':
+			i += 2
+			continue
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				return i + 1, nil
+			}
+		}
+		i++
+	}
+	return 0, errf("missing close-brace")
+}
+
+// parseBackslash consumes one backslash sequence and returns its
+// replacement text (Figure 5 of the paper plus the standard table).
+func (p *parser) parseBackslash() (string, error) {
+	p.pos++ // consume '\'
+	if p.eof() {
+		return "\\", nil
+	}
+	c := p.peek()
+	p.pos++
+	switch c {
+	case 'a':
+		return "\a", nil
+	case 'b':
+		return "\b", nil
+	case 'f':
+		return "\f", nil
+	case 'n':
+		return "\n", nil
+	case 'r':
+		return "\r", nil
+	case 't':
+		return "\t", nil
+	case 'v':
+		return "\v", nil
+	case '\n':
+		// Backslash-newline plus following blanks collapses to a space.
+		for !p.eof() && (p.peek() == ' ' || p.peek() == '\t') {
+			p.pos++
+		}
+		return " ", nil
+	case 'x':
+		// \xHH hexadecimal.
+		val := 0
+		n := 0
+		for !p.eof() && n < 2 && isHex(p.peek()) {
+			val = val*16 + hexVal(p.peek())
+			p.pos++
+			n++
+		}
+		if n == 0 {
+			return "x", nil
+		}
+		return string(rune(val)), nil
+	case '0', '1', '2', '3', '4', '5', '6', '7':
+		val := int(c - '0')
+		n := 1
+		for !p.eof() && n < 3 && p.peek() >= '0' && p.peek() <= '7' {
+			val = val*8 + int(p.peek()-'0')
+			p.pos++
+			n++
+		}
+		return string(rune(val)), nil
+	default:
+		return string(c), nil
+	}
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}
+
+// SubstituteAll performs $, [] and backslash substitution on s without
+// splitting it into words, like Tcl_ExprString's argument handling. Tk's
+// bind machinery uses it for %-substituted commands that arrive as whole
+// scripts.
+func (in *Interp) SubstituteAll(s string) (string, error) {
+	p := &parser{src: s}
+	var b strings.Builder
+	for !p.eof() {
+		c := p.peek()
+		switch c {
+		case '$':
+			r, err := p.parseVarSubst(in)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r)
+		case '[':
+			r, err := p.parseCommandSubst(in)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r)
+		case '\\':
+			r, err := p.parseBackslash()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r)
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,57 @@
+package tcl
+
+import "testing"
+
+func TestRegexpCommand(t *testing.T) {
+	in := New()
+	expect(t, in, `regexp {b+} "abbbc"`, "1")
+	expect(t, in, `regexp {z+} "abbbc"`, "0")
+	// Match variables.
+	expect(t, in, `regexp {(b+)(c)} "abbbcd" whole part1 part2`, "1")
+	expect(t, in, `set whole`, "bbbc")
+	expect(t, in, `set part1`, "bbb")
+	expect(t, in, `set part2`, "c")
+	// Missing submatch leaves the variable empty.
+	expect(t, in, `regexp {(x)?y} "y" m sub; set sub`, "")
+	// Case-insensitive matching.
+	expect(t, in, `regexp -nocase {HELLO} "say hello"`, "1")
+	expect(t, in, `regexp {HELLO} "say hello"`, "0")
+	// -- terminates switches so a pattern may begin with '-'.
+	expect(t, in, `regexp -- {-x} "a-xb"`, "1")
+	// Anchors.
+	expect(t, in, `regexp {^abc$} "abc"`, "1")
+	expect(t, in, `regexp {^abc$} "xabc"`, "0")
+	evalErr(t, in, `regexp {[unclosed} x`, "couldn't compile")
+	evalErr(t, in, `regexp -bogus x y`, "bad switch")
+	evalErr(t, in, `regexp onlypattern`, "wrong # args")
+}
+
+func TestRegsubCommand(t *testing.T) {
+	in := New()
+	expect(t, in, `regsub {b+} "abbbc" "X" out`, "1")
+	expect(t, in, `set out`, "aXc")
+	// & refers to the whole match.
+	expect(t, in, `regsub {b+} "abbbc" "<&>" out; set out`, "a<bbb>c")
+	// \1 refers to a submatch.
+	expect(t, in, `regsub {a(b+)c} "xabbcy" {\1} out; set out`, "xbby")
+	// -all replaces every occurrence.
+	expect(t, in, `regsub -all {o} "foo boo" "0" out; set out`, "f00 b00")
+	// Without -all, only the first occurrence.
+	expect(t, in, `regsub {o} "foo boo" "0" out; set out`, "f0o boo")
+	// No match: returns 0 and stores the input unchanged.
+	expect(t, in, `regsub {z} "abc" "X" out`, "0")
+	expect(t, in, `set out`, "abc")
+	// -nocase.
+	expect(t, in, `regsub -nocase {HELLO} "say hello" "goodbye" out; set out`, "say goodbye")
+	// Escaped backslash in subSpec.
+	expect(t, in, `regsub {b} "abc" {\\} out; set out`, "a\\c")
+	evalErr(t, in, `regsub {x} y`, "wrong # args")
+}
+
+func TestTkErrorStyleUsage(t *testing.T) {
+	// The classic idiom: extract fields from structured text.
+	in := New()
+	evalOK(t, in, `set line "width=640 height=480"`)
+	expect(t, in, `regexp {width=([0-9]+) height=([0-9]+)} $line all w h`, "1")
+	expect(t, in, `expr $w * $h`, "307200")
+}

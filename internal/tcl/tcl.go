@@ -1,0 +1,291 @@
+// Package tcl implements an interpreter for the Tcl command language as
+// described in Ousterhout's "Tcl: An Embeddable Command Language" (USENIX
+// Winter 1990) and used as the substrate of the Tk toolkit paper (USENIX
+// Winter 1991).
+//
+// The interpreter follows the string-only data model of the original
+// system: every value — command arguments, results, variables — is a Go
+// string. Scripts are parsed at evaluation time (there is no byte-code
+// compiler), matching the era's implementation and the paper's Table II
+// measurement of a simple command.
+//
+// The package is self-contained: it has no knowledge of windows or X.
+// Applications embed it exactly as Figure 6 of the Tk paper shows: create
+// an Interp, register application-specific commands with Register, and
+// pass command strings to Eval.
+package tcl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Status is the completion code of a script or command evaluation,
+// mirroring the classic TCL_OK/TCL_ERROR/TCL_RETURN/TCL_BREAK/TCL_CONTINUE
+// codes.
+type Status int
+
+// Completion codes.
+const (
+	OK Status = iota
+	ErrorStatus
+	ReturnStatus
+	BreakStatus
+	ContinueStatus
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case ErrorStatus:
+		return "error"
+	case ReturnStatus:
+		return "return"
+	case BreakStatus:
+		return "break"
+	case ContinueStatus:
+		return "continue"
+	}
+	return fmt.Sprintf("status-%d", int(s))
+}
+
+// Error is the error type produced by the interpreter. Code distinguishes
+// genuine errors from the control-flow signals (break, continue, return)
+// that propagate through Eval as errors until a looping command or
+// procedure invocation consumes them.
+type Error struct {
+	Code Status // ErrorStatus, ReturnStatus, BreakStatus or ContinueStatus
+	Msg  string // the interpreter result associated with the error
+	Info string // accumulated stack trace (errorInfo)
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// errf builds an ErrorStatus *Error.
+func errf(format string, args ...any) *Error {
+	return &Error{Code: ErrorStatus, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Control-flow sentinels. They carry no message; loops intercept them.
+var (
+	errBreak    = &Error{Code: BreakStatus, Msg: `invoked "break" outside of a loop`}
+	errContinue = &Error{Code: ContinueStatus, Msg: `invoked "continue" outside of a loop`}
+)
+
+// returnError signals "return" from within a procedure body.
+type returnError struct {
+	value string
+	code  Status // code requested via "return -code"; usually OK
+}
+
+func (r *returnError) Error() string { return r.value }
+
+// CmdFunc is the signature of a command procedure (Figure 6 of the Tk
+// paper). args[0] is the command name as invoked. The returned string is
+// the command result; a non-nil error aborts the script unless it is a
+// control-flow signal.
+type CmdFunc func(in *Interp, args []string) (string, error)
+
+// command holds a registered command: either a Go procedure or a Tcl proc.
+type command struct {
+	fn   CmdFunc
+	proc *procDef // non-nil when the command is a Tcl procedure
+}
+
+// procDef is a Tcl procedure created with "proc".
+type procDef struct {
+	name    string
+	formals []procArg
+	body    string
+}
+
+type procArg struct {
+	name     string
+	def      string
+	hasDef   bool
+	isVarArg bool // the final "args" formal
+}
+
+// Var is a Tcl variable: a scalar, an array, or an upvar link.
+type Var struct {
+	value  string
+	array  map[string]string
+	isArr  bool
+	link   *Var // non-nil when this frame slot is an upvar alias
+	traces []VarTrace
+}
+
+// VarTrace is a variable trace callback, invoked after writes and before
+// reads or unsets depending on the ops it was registered for.
+type VarTrace struct {
+	Ops string // subset of "rwu"
+	Fn  func(in *Interp, name, index, op string)
+}
+
+// frame is one procedure call frame (level 0 is global).
+type frame struct {
+	vars  map[string]*Var
+	level int
+}
+
+// Interp is a Tcl interpreter: a command table plus a stack of variable
+// frames. It is not safe for concurrent use by multiple goroutines; Tk
+// serializes all access through its event loop, as the original did.
+type Interp struct {
+	cmds   map[string]*command
+	frames []*frame // frames[0] is the global frame
+
+	// Out receives output from puts/print. Defaults to os.Stdout via the
+	// io commands; tests redirect it.
+	Out interface{ Write(p []byte) (int, error) }
+
+	// ExitHandler, when set, intercepts the exit command (Tk sets it so
+	// that exit tears down windows first). When nil, exit calls os.Exit.
+	ExitHandler func(code int)
+
+	// maxNesting bounds recursive evaluation depth.
+	maxNesting int
+	nesting    int
+
+	// deleted is set by Delete; evaluation fails afterwards.
+	deleted bool
+}
+
+// New creates an interpreter with all built-in commands registered.
+func New() *Interp {
+	in := &Interp{
+		cmds:       make(map[string]*command, 96),
+		maxNesting: 1000,
+	}
+	in.frames = []*frame{{vars: make(map[string]*Var), level: 0}}
+	registerCore(in)
+	registerList(in)
+	registerString(in)
+	registerExprCmd(in)
+	registerInfo(in)
+	registerIO(in)
+	registerArray(in)
+	registerRegexp(in)
+	in.initEnv()
+	return in
+}
+
+// Delete marks the interpreter dead; subsequent Eval calls fail. It exists
+// so applications embedding the interpreter can tear it down while Tcl
+// commands may still hold references (as Tk does when a main window is
+// destroyed).
+func (in *Interp) Delete() { in.deleted = true }
+
+// Deleted reports whether Delete has been called.
+func (in *Interp) Deleted() bool { return in.deleted }
+
+// Register installs an application-specific command, replacing any
+// existing command with the same name. Per the paper, application commands
+// are indistinguishable from built-ins once registered.
+func (in *Interp) Register(name string, fn CmdFunc) {
+	in.cmds[name] = &command{fn: fn}
+}
+
+// Unregister removes a command. It reports whether the command existed.
+func (in *Interp) Unregister(name string) bool {
+	if _, ok := in.cmds[name]; !ok {
+		return false
+	}
+	delete(in.cmds, name)
+	return true
+}
+
+// HasCommand reports whether name is currently a registered command.
+func (in *Interp) HasCommand(name string) bool {
+	_, ok := in.cmds[name]
+	return ok
+}
+
+// CommandNames returns the names of all registered commands, unordered.
+func (in *Interp) CommandNames() []string {
+	names := make([]string, 0, len(in.cmds))
+	for n := range in.cmds {
+		names = append(names, n)
+	}
+	return names
+}
+
+// current returns the active variable frame.
+func (in *Interp) current() *frame { return in.frames[len(in.frames)-1] }
+
+// global returns the global frame.
+func (in *Interp) global() *frame { return in.frames[0] }
+
+// Eval parses and executes script, returning the result of the last
+// command executed. Control-flow signals (break/continue/return at top
+// level) surface as *Error values with the corresponding Code.
+func (in *Interp) Eval(script string) (string, error) {
+	if in.deleted {
+		return "", errf("attempt to use deleted interpreter")
+	}
+	in.nesting++
+	defer func() { in.nesting-- }()
+	if in.nesting > in.maxNesting {
+		return "", errf("too many nested calls to Tcl interpreter (infinite loop?)")
+	}
+
+	p := &parser{src: script}
+	result := ""
+	for {
+		words, ok, err := p.nextCommand(in)
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			break
+		}
+		if len(words) == 0 {
+			continue
+		}
+		result, err = in.invoke(words)
+		if err != nil {
+			return "", err
+		}
+	}
+	return result, nil
+}
+
+// EvalWords invokes a command from pre-parsed words, bypassing the parser.
+// Tk uses it to splice event fields into bound commands efficiently.
+func (in *Interp) EvalWords(words []string) (string, error) {
+	if len(words) == 0 {
+		return "", nil
+	}
+	if in.deleted {
+		return "", errf("attempt to use deleted interpreter")
+	}
+	in.nesting++
+	defer func() { in.nesting-- }()
+	if in.nesting > in.maxNesting {
+		return "", errf("too many nested calls to Tcl interpreter (infinite loop?)")
+	}
+	return in.invoke(words)
+}
+
+// invoke dispatches one fully substituted command.
+func (in *Interp) invoke(words []string) (string, error) {
+	cmd, ok := in.cmds[words[0]]
+	if !ok {
+		return "", errf("invalid command name %q", words[0])
+	}
+	res, err := cmd.fn(in, words)
+	if err != nil {
+		if te, ok := err.(*Error); ok && te.Code == ErrorStatus && te.Info == "" {
+			te.Info = fmt.Sprintf("%s\n    while executing\n%q", te.Msg, strings.Join(words, " "))
+		}
+		return "", err
+	}
+	return res, nil
+}
+
+// Call invokes command name with the given arguments (not re-parsed).
+func (in *Interp) Call(name string, args ...string) (string, error) {
+	words := append([]string{name}, args...)
+	return in.EvalWords(words)
+}

@@ -1,0 +1,162 @@
+package tk
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xclient"
+	"repro/internal/xproto"
+)
+
+// Resource caches (§3.3): allocating X resources requires inter-process
+// communication with the server, so Tk caches them, indexed by textual
+// descriptions. The first request for "MediumSeaGreen" costs a round
+// trip; every later request is served from the cache. Given a resource
+// value, Tk can also return its textual name (NameOfColor), which widgets
+// use to report their configuration in human-readable form.
+
+// Color resolves a textual color name to a pixel, caching the result.
+func (app *App) Color(name string) (uint32, error) {
+	key := strings.ToLower(name)
+	if px, ok := app.colorCache[key]; ok {
+		return px, nil
+	}
+	px, found, err := app.Disp.AllocNamedColor(name)
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("unknown color name %q", name)
+	}
+	app.colorCache[key] = px
+	if _, ok := app.colorNames[px]; !ok {
+		app.colorNames[px] = name
+	}
+	return px, nil
+}
+
+// NameOfColor returns the textual name under which a pixel was allocated
+// (falling back to #RRGGBB).
+func (app *App) NameOfColor(pixel uint32) string {
+	if name, ok := app.colorNames[pixel]; ok {
+		return name
+	}
+	return fmt.Sprintf("#%06x", pixel)
+}
+
+// FontByName opens a font by name, caching the handle and its metrics so
+// later uses (and all text measurement) cost no server traffic.
+func (app *App) FontByName(name string) (*xclient.Font, error) {
+	if f, ok := app.fontCache[name]; ok {
+		return f, nil
+	}
+	f, err := app.Disp.OpenFont(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown font name %q: %v", name, err)
+	}
+	app.fontCache[name] = f
+	return f, nil
+}
+
+// Cursor resolves a textual cursor name (e.g. "coffee_mug") to a cursor
+// resource, caching it.
+func (app *App) Cursor(name string) (xproto.ID, error) {
+	if c, ok := app.cursorCache[name]; ok {
+		return c, nil
+	}
+	c := app.Disp.CreateCursor(name)
+	app.cursorCache[name] = c
+	return c, nil
+}
+
+// Bitmap is a cached monochrome pattern, indexed by a textual name
+// ("gray50", or "@file" for a bitmap stored in a file, per §3.3).
+type Bitmap struct {
+	Name   string
+	Width  int
+	Height int
+	// Rows holds one bool per pixel, row-major.
+	Rows []bool
+}
+
+// builtinBitmaps defines the stock patterns.
+var builtinBitmaps = map[string]func() *Bitmap{
+	"gray50": func() *Bitmap {
+		b := &Bitmap{Name: "gray50", Width: 8, Height: 8, Rows: make([]bool, 64)}
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				b.Rows[y*8+x] = (x+y)%2 == 0
+			}
+		}
+		return b
+	},
+	"gray25": func() *Bitmap {
+		b := &Bitmap{Name: "gray25", Width: 8, Height: 8, Rows: make([]bool, 64)}
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				b.Rows[y*8+x] = x%2 == 0 && y%2 == 0
+			}
+		}
+		return b
+	},
+	"star": func() *Bitmap {
+		rows := []string{
+			"...X...",
+			"...X...",
+			".XXXXX.",
+			"..XXX..",
+			".X.X.X.",
+			"X..X..X",
+			"...X...",
+		}
+		return bitmapFromRows("star", rows)
+	},
+}
+
+func bitmapFromRows(name string, rows []string) *Bitmap {
+	h := len(rows)
+	w := len(rows[0])
+	b := &Bitmap{Name: name, Width: w, Height: h, Rows: make([]bool, w*h)}
+	for y, r := range rows {
+		for x := 0; x < len(r) && x < w; x++ {
+			b.Rows[y*w+x] = r[x] == 'X'
+		}
+	}
+	return b
+}
+
+// BitmapByName resolves a textual bitmap description, caching it.
+func (app *App) BitmapByName(name string) (*Bitmap, error) {
+	if b, ok := app.bitmapCache[name]; ok {
+		return b, nil
+	}
+	if mk, ok := builtinBitmaps[name]; ok {
+		b := mk()
+		app.bitmapCache[name] = b
+		return b, nil
+	}
+	return nil, fmt.Errorf("bitmap %q not defined", name)
+}
+
+// GC returns a shared graphics context for the given attributes, creating
+// it on first use. GCs with identical contents are shared between
+// widgets, as §3.3 prescribes.
+func (app *App) GC(fg, bg uint32, lineWidth int, font xproto.ID) xproto.ID {
+	key := gcKey{fg: fg, bg: bg, lineWidth: lineWidth, font: font}
+	if gc, ok := app.gcCache[key]; ok {
+		return gc
+	}
+	gc := app.Disp.CreateGC(xclient.GCValues{
+		Mask: xproto.GCForeground | xproto.GCBackground |
+			xproto.GCLineWidth | xproto.GCFont,
+		Foreground: fg, Background: bg,
+		LineWidth: lineWidth, Font: font,
+	})
+	app.gcCache[key] = gc
+	return gc
+}
+
+// CacheStats reports cache occupancy, for the §3.3 experiments.
+func (app *App) CacheStats() (colors, fonts, gcs, cursors int) {
+	return len(app.colorCache), len(app.fontCache), len(app.gcCache), len(app.cursorCache)
+}

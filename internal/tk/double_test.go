@@ -1,0 +1,83 @@
+package tk
+
+import (
+	"testing"
+
+	"repro/internal/xproto"
+)
+
+// TestDoubleClickCounts verifies a <Double-Button-1> binding fires
+// exactly once for a double click and not for single clicks.
+func TestDoubleClickCounts(t *testing.T) {
+	app, _ := newTestApp(t)
+	mkWindow(t, app, ".x", 100, 100)
+	app.MustEval(`pack append . .x {top}`)
+	app.MustEval(`set doubles 0`)
+	app.MustEval(`set singles 0`)
+	app.MustEval(`bind .x <Double-Button-1> {incr doubles}`)
+	app.Update()
+	w, _ := app.NameToWindow(".x")
+	rx, ry := w.RootCoords()
+	app.Disp.WarpPointer(rx+10, ry+10)
+
+	// One single click: no double.
+	app.Disp.FakeButton(1, true)
+	app.Disp.FakeButton(1, false)
+	app.Update()
+	if got := app.MustEval(`set doubles`); got != "0" {
+		t.Fatalf("single click produced %s doubles", got)
+	}
+	// Second click completes the double.
+	app.Disp.FakeButton(1, true)
+	app.Disp.FakeButton(1, false)
+	app.Update()
+	if got := app.MustEval(`set doubles`); got != "1" {
+		t.Fatalf("double click produced %s doubles, want 1", got)
+	}
+}
+
+// TestDoubleClickWithReleasesSelected: when releases are also delivered
+// (as widget behaviour code selects them), the Double sequence must
+// still match across the interleaved release.
+func TestDoubleClickWithReleasesSelected(t *testing.T) {
+	app, _ := newTestApp(t)
+	w := mkWindow(t, app, ".x", 100, 100)
+	app.MustEval(`pack append . .x {top}`)
+	// A widget-like Go handler selecting releases on the same window.
+	w.AddEventHandler(xproto.ButtonReleaseMask, func(*xproto.Event) {})
+	app.MustEval(`set doubles 0`)
+	app.MustEval(`bind .x <Double-Button-1> {incr doubles}`)
+	app.Update()
+	rx, ry := w.RootCoords()
+	app.Disp.WarpPointer(rx+10, ry+10)
+	app.Disp.FakeButton(1, true)
+	app.Disp.FakeButton(1, false)
+	app.Disp.FakeButton(1, true)
+	app.Disp.FakeButton(1, false)
+	app.Update()
+	if got := app.MustEval(`set doubles`); got != "1" {
+		t.Fatalf("doubles = %s, want 1 (release events interleaved)", got)
+	}
+}
+
+// TestEscapeQWithInterveningKey: a different key between the sequence
+// members breaks it.
+func TestSequenceBrokenByOtherKey(t *testing.T) {
+	app, out := newTestApp(t)
+	w := mkWindow(t, app, ".x", 100, 100)
+	app.MustEval(`pack append . .x {top}`)
+	app.MustEval(`bind .x <Escape>q {print seq}`)
+	app.Update()
+	rx, ry := w.RootCoords()
+	app.Disp.WarpPointer(rx+10, ry+10)
+	app.Disp.FakeKey(xproto.KsEscape, true)
+	app.Disp.FakeKey(xproto.KsEscape, false)
+	app.Disp.FakeKey('z', true) // intervening key press breaks the sequence
+	app.Disp.FakeKey('z', false)
+	app.Disp.FakeKey('q', true)
+	app.Disp.FakeKey('q', false)
+	app.Update()
+	if out.String() != "" {
+		t.Fatalf("broken sequence still fired: %q", out.String())
+	}
+}

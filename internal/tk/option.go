@@ -1,0 +1,230 @@
+package tk
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The option database (§3.5) is Tk's version of the Xt resource manager:
+// users put patterns like "*Button.background: red" in a .Xdefaults file
+// (or add them with the option command), and widgets query the database
+// when they configure themselves. Patterns name a path of window names or
+// classes with tight (".") or loose ("*") bindings; more specific
+// patterns and higher priorities win.
+
+// Priority levels, as in Tk.
+const (
+	PrioWidgetDefault = 20
+	PrioStartupFile   = 40
+	PrioUserDefault   = 60
+	PrioInteractive   = 80
+)
+
+type optComponent struct {
+	loose bool // preceded by '*' rather than '.'
+	name  string
+}
+
+type optEntry struct {
+	pattern  string
+	comps    []optComponent
+	value    string
+	priority int
+	serial   int
+}
+
+type optionDB struct {
+	entries []*optEntry
+	serial  int
+}
+
+func newOptionDB() *optionDB { return &optionDB{} }
+
+// parsePattern splits "*Button.background" into components.
+func parsePattern(pattern string) ([]optComponent, error) {
+	var comps []optComponent
+	i := 0
+	loose := false
+	if i < len(pattern) && (pattern[i] == '*' || pattern[i] == '.') {
+		loose = pattern[i] == '*'
+		i++
+	}
+	start := i
+	for i <= len(pattern) {
+		if i == len(pattern) || pattern[i] == '.' || pattern[i] == '*' {
+			name := pattern[start:i]
+			if name == "" {
+				return nil, fmt.Errorf("bad option pattern %q", pattern)
+			}
+			comps = append(comps, optComponent{loose: loose, name: name})
+			if i == len(pattern) {
+				break
+			}
+			loose = pattern[i] == '*'
+			i++
+			start = i
+			continue
+		}
+		i++
+	}
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("bad option pattern %q", pattern)
+	}
+	return comps, nil
+}
+
+// Add inserts a pattern/value with a priority.
+func (db *optionDB) Add(pattern, value string, priority int) error {
+	comps, err := parsePattern(pattern)
+	if err != nil {
+		return err
+	}
+	db.serial++
+	db.entries = append(db.entries, &optEntry{
+		pattern: pattern, comps: comps, value: value,
+		priority: priority, serial: db.serial,
+	})
+	return nil
+}
+
+// Clear removes all entries.
+func (db *optionDB) Clear() { db.entries = nil; db.serial = 0 }
+
+// ReadString loads .Xdefaults-format text: "pattern: value" lines, "!"
+// comments.
+func (db *optionDB) ReadString(text string, priority int) error {
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return fmt.Errorf("missing colon in options line %q", line)
+		}
+		pattern := strings.TrimSpace(line[:colon])
+		value := strings.TrimSpace(line[colon+1:])
+		if err := db.Add(pattern, value, priority); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matchLevel describes what a pattern component matched at one key level,
+// for specificity comparison (name beats class beats skipped).
+const (
+	matchSkip  = 0
+	matchClass = 2
+	matchName  = 3
+)
+
+// matchEntry tries to match an entry against key names/classes; on
+// success it fills spec with the per-level match quality.
+func matchEntry(comps []optComponent, names, classes []string, li int, spec []int) bool {
+	if len(comps) == 0 {
+		return li == len(names)
+	}
+	if li >= len(names) {
+		return false
+	}
+	c := comps[0]
+	tryAt := func(at int) bool {
+		var quality int
+		switch {
+		case c.name == names[at]:
+			quality = matchName
+		case c.name == classes[at]:
+			quality = matchClass
+		case c.name == "?":
+			quality = matchClass - 1
+		default:
+			return false
+		}
+		savedVals := make([]int, len(spec))
+		copy(savedVals, spec)
+		for i := li; i < at; i++ {
+			spec[i] = matchSkip
+		}
+		spec[at] = quality
+		if matchEntry(comps[1:], names, classes, at+1, spec) {
+			return true
+		}
+		copy(spec, savedVals)
+		return false
+	}
+	if !c.loose {
+		return tryAt(li)
+	}
+	for at := li; at < len(names); at++ {
+		if tryAt(at) {
+			return true
+		}
+	}
+	return false
+}
+
+// Get looks up the option (name, class) for a window. It builds the key
+// path from the application name/class and the window path (§3.5) and
+// returns the winning value ("" if no entry matches).
+func (app *App) GetOption(w *Window, optName, optClass string) string {
+	names := []string{app.Name}
+	classes := []string{app.Main.Class}
+	if w.Path != "." {
+		parts := strings.Split(w.Path[1:], ".")
+		cur := app.Main
+		for _, p := range parts {
+			var child *Window
+			for _, ch := range cur.Children {
+				if ch.Name == p {
+					child = ch
+					break
+				}
+			}
+			names = append(names, p)
+			if child != nil {
+				classes = append(classes, child.Class)
+				cur = child
+			} else {
+				classes = append(classes, "")
+			}
+		}
+	}
+	names = append(names, optName)
+	classes = append(classes, optClass)
+
+	var best *optEntry
+	var bestSpec []int
+	for _, e := range app.options.entries {
+		spec := make([]int, len(names))
+		if !matchEntry(e.comps, names, classes, 0, spec) {
+			continue
+		}
+		if best == nil || betterEntry(e, spec, best, bestSpec) {
+			best, bestSpec = e, spec
+		}
+	}
+	if best == nil {
+		return ""
+	}
+	return best.value
+}
+
+// betterEntry decides whether (e, spec) beats the current best: priority
+// first, then per-level specificity left-to-right, then insertion order.
+func betterEntry(e *optEntry, spec []int, best *optEntry, bestSpec []int) bool {
+	if e.priority != best.priority {
+		return e.priority > best.priority
+	}
+	for i := range spec {
+		if spec[i] != bestSpec[i] {
+			return spec[i] > bestSpec[i]
+		}
+	}
+	return e.serial > best.serial
+}
+
+// AddOption adds an entry to the application's option database.
+func (app *App) AddOption(pattern, value string, priority int) error {
+	return app.options.Add(pattern, value, priority)
+}

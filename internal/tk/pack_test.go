@@ -1,0 +1,250 @@
+package tk
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestPackerSlavesStayInsideMaster property: however slaves are packed
+// (random sides, sizes, expand/fill flags), every slave's final geometry
+// lies within the master's bounds.
+func TestPackerSlavesStayInsideMaster(t *testing.T) {
+	type slaveSpec struct {
+		Side   uint8
+		W, H   uint8
+		Expand bool
+		FillX  bool
+		FillY  bool
+	}
+	sides := []string{"top", "bottom", "left", "right"}
+	f := func(specs []slaveSpec) bool {
+		if len(specs) == 0 {
+			return true
+		}
+		if len(specs) > 8 {
+			specs = specs[:8]
+		}
+		app, _ := newTestApp(t)
+		defer app.Destroy()
+		master := app.Main
+		app.MustEval(`pack propagate . 0`)
+		app.resizeWindow(master, 0, 0, 150, 150, false)
+		for i, s := range specs {
+			path := fmt.Sprintf(".s%d", i)
+			w := mkWindow(t, app, path, int(s.W%100)+1, int(s.H%100)+1)
+			opts := sides[s.Side%4]
+			if s.Expand {
+				opts += " expand"
+			}
+			if s.FillX {
+				opts += " fillx"
+			}
+			if s.FillY {
+				opts += " filly"
+			}
+			if err := app.packer.Pack(master, w, opts); err != nil {
+				return false
+			}
+		}
+		app.Update()
+		for i := range specs {
+			w, err := app.NameToWindow(fmt.Sprintf(".s%d", i))
+			if err != nil {
+				return false
+			}
+			if !w.Mapped {
+				continue // no space left: the packer unmapped it
+			}
+			if w.X < 0 || w.Y < 0 ||
+				w.X+w.Width > master.Width || w.Y+w.Height > master.Height {
+				t.Logf("slave %d at %d,%d %dx%d escapes master %dx%d",
+					i, w.X, w.Y, w.Width, w.Height, master.Width, master.Height)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackerColumnNoOverlap property: same-side top packing produces
+// non-overlapping, ordered frames.
+func TestPackerColumnNoOverlap(t *testing.T) {
+	f := func(heights []uint8) bool {
+		if len(heights) == 0 {
+			return true
+		}
+		if len(heights) > 6 {
+			heights = heights[:6]
+		}
+		app, _ := newTestApp(t)
+		defer app.Destroy()
+		for i, h := range heights {
+			mkWindow(t, app, fmt.Sprintf(".w%d", i), 50, int(h%40)+5)
+			app.MustEval(fmt.Sprintf(`pack append . .w%d {top}`, i))
+		}
+		app.Update()
+		lastBottom := -1
+		for i := range heights {
+			w, _ := app.NameToWindow(fmt.Sprintf(".w%d", i))
+			if w.Y < lastBottom {
+				return false
+			}
+			lastBottom = w.Y + w.Height
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackerExpandDistributes: expanding slaves absorb leftover space.
+func TestPackerExpandDistributes(t *testing.T) {
+	app, _ := newTestApp(t)
+	master := app.Main
+	app.MustEval(`pack propagate . 0`)
+	app.resizeWindow(master, 0, 0, 100, 300, false)
+	a := mkWindow(t, app, ".a", 50, 50)
+	b := mkWindow(t, app, ".b", 50, 50)
+	app.MustEval(`pack append . .a {top expand filly} .b {top expand filly}`)
+	app.Update()
+	// 300 split between two expanders: ~150 each.
+	if a.Height < 140 || b.Height < 140 {
+		t.Fatalf("expansion: a=%d b=%d", a.Height, b.Height)
+	}
+	if a.Y+a.Height > b.Y+1 && b.Y > a.Y {
+		t.Fatalf("overlap: a=[%d,%d] b=[%d,%d]", a.Y, a.Y+a.Height, b.Y, b.Y+b.Height)
+	}
+}
+
+// TestPackerPadding: padx/pady insets the slave within its frame.
+func TestPackerPadding(t *testing.T) {
+	app, _ := newTestApp(t)
+	a := mkWindow(t, app, ".a", 40, 20)
+	app.MustEval(`pack append . .a {top padx 10 pady 7}`)
+	app.Update()
+	// Master propagates to 40+20 x 20+14.
+	if app.Main.Width != 60 || app.Main.Height != 34 {
+		t.Fatalf("master = %dx%d, want 60x34", app.Main.Width, app.Main.Height)
+	}
+	if a.X != 10 || a.Y != 7 {
+		t.Fatalf("slave at %d,%d, want 10,7", a.X, a.Y)
+	}
+}
+
+// TestPackerAnchors: the frame option positions a smaller slave.
+func TestPackerAnchors(t *testing.T) {
+	app, _ := newTestApp(t)
+	master := app.Main
+	app.MustEval(`pack propagate . 0`)
+	app.resizeWindow(master, 0, 0, 200, 100, false)
+	a := mkWindow(t, app, ".a", 40, 90)
+	app.MustEval(`pack append . .a {top frame w}`)
+	app.Update()
+	if a.X != 0 {
+		t.Fatalf("anchor w: x=%d", a.X)
+	}
+	app.MustEval(`pack unpack .a`)
+	app.MustEval(`pack append . .a {top frame e}`)
+	app.Update()
+	if a.X != 160 {
+		t.Fatalf("anchor e: x=%d", a.X)
+	}
+}
+
+// TestPackerBadInput covers option errors.
+func TestPackerBadInput(t *testing.T) {
+	app, _ := newTestApp(t)
+	mkWindow(t, app, ".a", 10, 10)
+	mkWindow(t, app, ".a.k", 5, 5)
+	for _, bad := range []string{
+		`pack append . .a {diagonal}`,
+		`pack append . .a {padx}`,
+		`pack append . .a {padx notanumber}`,
+		`pack append . .nosuch {top}`,
+		`pack append .a .a {top}`,  // window can't be its own slave
+		`pack append . .a.k {top}`, // not a child of the master
+		`pack append . .a`,         // missing option list
+		`pack bogus .a`,            // unknown subcommand
+	} {
+		if _, err := app.Eval(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
+// TestPackerSlaveDestroyedMidLayout: destroying a packed slave removes it
+// from the master's layout without disturbing the others.
+func TestPackerSlaveDestroyed(t *testing.T) {
+	app, _ := newTestApp(t)
+	mkWindow(t, app, ".a", 30, 30)
+	mkWindow(t, app, ".b", 30, 30)
+	mkWindow(t, app, ".c", 30, 30)
+	app.MustEval(`pack append . .a {top} .b {top} .c {top}`)
+	app.Update()
+	app.MustEval(`destroy .b`)
+	app.Update()
+	if got := app.MustEval(`pack slaves .`); got != ".a .c" {
+		t.Fatalf("slaves after destroy = %q", got)
+	}
+	// The master shrank to fit the remaining two.
+	if app.Main.Height != 60 {
+		t.Fatalf("master height = %d, want 60", app.Main.Height)
+	}
+}
+
+// TestPackBeforeAfter: the old-style ordering subcommands.
+func TestPackBeforeAfter(t *testing.T) {
+	app, _ := newTestApp(t)
+	mkWindow(t, app, ".a", 20, 20)
+	mkWindow(t, app, ".b", 20, 20)
+	mkWindow(t, app, ".c", 20, 20)
+	app.MustEval(`pack append . .a {top} .c {top}`)
+	app.MustEval(`pack before .c .b {top}`)
+	if got := app.MustEval(`pack slaves .`); got != ".a .b .c" {
+		t.Fatalf("after pack before: %q", got)
+	}
+	mkWindow(t, app, ".d", 20, 20)
+	app.MustEval(`pack after .a .d {top}`)
+	if got := app.MustEval(`pack slaves .`); got != ".a .d .b .c" {
+		t.Fatalf("after pack after: %q", got)
+	}
+	// Repacking an existing slave moves it.
+	app.MustEval(`pack after .c .d {top}`)
+	if got := app.MustEval(`pack slaves .`); got != ".a .b .c .d" {
+		t.Fatalf("after move: %q", got)
+	}
+	// Errors.
+	if _, err := app.Eval(`pack before .nosuch .a {top}`); err == nil {
+		t.Fatal("unknown sibling should fail")
+	}
+	mkWindow(t, app, ".unpacked", 5, 5)
+	if _, err := app.Eval(`pack before .unpacked .a {top}`); err == nil {
+		t.Fatal("unpacked sibling should fail")
+	}
+}
+
+// TestWinfoContaining resolves windows by root coordinates.
+func TestWinfoContaining(t *testing.T) {
+	app, _ := newTestApp(t)
+	mkWindow(t, app, ".f", 80, 40)
+	mkWindow(t, app, ".f.inner", 30, 20)
+	app.MustEval(`pack append . .f {top}`)
+	app.MustEval(`pack append .f .f.inner {top}`)
+	app.Update()
+	inner, _ := app.NameToWindow(".f.inner")
+	rx, ry := inner.RootCoords()
+	got := app.MustEval(`winfo containing ` + itoa(rx+2) + ` ` + itoa(ry+2))
+	if got != ".f.inner" {
+		t.Fatalf("containing = %q", got)
+	}
+	if got := app.MustEval(`winfo containing 9000 9000`); got != "" {
+		t.Fatalf("containing far point = %q", got)
+	}
+}
+
+func itoa(n int) string { return fmt.Sprint(n) }

@@ -1,0 +1,231 @@
+package tk
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/tcl"
+	"repro/internal/xproto"
+)
+
+// The send command (§6): a remote-procedure-call facility between Tk
+// applications on the same display. Each application registers its name
+// and communication window in a property on the root window; send locates
+// the target through the registry, forwards the command via a property on
+// the target's communication window, and the answer comes back the same
+// way. Everything rides on ordinary X requests, so it works between
+// separate operating-system processes sharing one (simulated) display.
+
+// sendTimeout bounds how long a sender waits for the target to answer.
+const sendTimeout = 5 * time.Second
+
+// registryEntries parses the root-window registry property: one Tcl list
+// {xid name} per line.
+func (app *App) registryEntries() ([][2]string, error) {
+	rep, err := app.Disp.GetProperty(app.Disp.Root, app.atomRegistry, false)
+	if err != nil {
+		return nil, err
+	}
+	var entries [][2]string
+	for _, line := range strings.Split(string(rep.Data), "\n") {
+		if line == "" {
+			continue
+		}
+		parts, err := tcl.ParseList(line)
+		if err != nil || len(parts) != 2 {
+			continue
+		}
+		entries = append(entries, [2]string{parts[0], parts[1]})
+	}
+	return entries, nil
+}
+
+// writeRegistry replaces the registry property.
+func (app *App) writeRegistry(entries [][2]string) {
+	var b strings.Builder
+	for _, e := range entries {
+		b.WriteString(tcl.FormatList([]string{e[0], e[1]}))
+		b.WriteByte('\n')
+	}
+	app.Disp.ChangeProperty(app.Disp.Root, app.atomRegistry, xproto.AtomString, []byte(b.String()))
+}
+
+// registerName adds this application to the registry, uniquifying its
+// name ("browse", "browse #2", ...) as Tk does.
+func (app *App) registerName(want string) error {
+	entries, err := app.registryEntries()
+	if err != nil {
+		return err
+	}
+	taken := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		taken[e[1]] = true
+	}
+	name := want
+	for n := 2; taken[name]; n++ {
+		name = fmt.Sprintf("%s #%d", want, n)
+	}
+	app.Name = name
+	entries = append(entries, [2]string{strconv.FormatUint(uint64(app.commWin), 10), name})
+	app.writeRegistry(entries)
+	app.registered = true
+	// Sync so the registry write is applied at the server before this
+	// application claims to exist; otherwise another client could look
+	// us up in a stale registry.
+	return app.Disp.Sync()
+}
+
+// unregisterName removes this application from the registry.
+func (app *App) unregisterName() {
+	if !app.registered || app.Disp.Closed() {
+		return
+	}
+	app.registered = false
+	entries, err := app.registryEntries()
+	if err != nil {
+		return
+	}
+	out := entries[:0]
+	for _, e := range entries {
+		if e[1] != app.Name {
+			out = append(out, e)
+		}
+	}
+	app.writeRegistry(out)
+	app.Disp.Flush()
+}
+
+// Interps lists the registered application names (winfo interps).
+func (app *App) Interps() []string {
+	entries, err := app.registryEntries()
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e[1])
+	}
+	return names
+}
+
+// lookupApp resolves an application name to its communication window.
+func (app *App) lookupApp(name string) (xproto.ID, error) {
+	entries, err := app.registryEntries()
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range entries {
+		if e[1] == name {
+			xid, err := strconv.ParseUint(e[0], 10, 32)
+			if err != nil {
+				continue
+			}
+			return xproto.ID(xid), nil
+		}
+	}
+	return 0, fmt.Errorf("no registered interpreter named %q", name)
+}
+
+// Send invokes a Tcl command in the named application and returns its
+// result — the paper's remote procedure call. Sending to ourselves simply
+// evaluates locally (as Tk does).
+func (app *App) Send(target, script string) (string, error) {
+	if target == app.Name {
+		return app.Interp.Eval(script)
+	}
+	commXID, err := app.lookupApp(target)
+	if err != nil {
+		return "", err
+	}
+	app.sendSerial++
+	serial := app.sendSerial
+	payload := tcl.FormatList([]string{
+		strconv.Itoa(serial),
+		strconv.FormatUint(uint64(app.commWin), 10),
+		script,
+	}) + "\n"
+	app.Disp.AppendProperty(commXID, app.atomSendCmd, xproto.AtomString, []byte(payload))
+	if err := app.Disp.Flush(); err != nil {
+		return "", err
+	}
+	// Pump events until the result arrives: the target may send us
+	// commands of its own in the meantime (reentrancy), and we must keep
+	// servicing them to avoid deadlock.
+	deadline := time.Now().Add(sendTimeout)
+	for {
+		if res, ok := app.sendResults[serial]; ok {
+			delete(app.sendResults, serial)
+			if res.code != 0 {
+				return "", &tcl.Error{Code: tcl.ErrorStatus, Msg: res.result}
+			}
+			return res.result, nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("target application %q did not respond", target)
+		}
+		if app.Quitting() {
+			return "", fmt.Errorf("application destroyed while waiting for send result")
+		}
+		app.pumpOnce()
+	}
+}
+
+// handleCommEvent services PropertyNotify events on the communication
+// window: incoming commands to execute, and results for our own sends.
+func (app *App) handleCommEvent(ev *xproto.Event) {
+	if ev.Type != xproto.PropertyNotify || ev.PropState != xproto.PropertyNewValue {
+		return
+	}
+	switch ev.Atom {
+	case app.atomSendCmd:
+		rep, err := app.Disp.GetProperty(app.commWin, app.atomSendCmd, true)
+		if err != nil || !rep.Found {
+			return
+		}
+		for _, line := range strings.Split(string(rep.Data), "\n") {
+			if line == "" {
+				continue
+			}
+			parts, err := tcl.ParseList(line)
+			if err != nil || len(parts) != 3 {
+				continue
+			}
+			serial := parts[0]
+			responder, err := strconv.ParseUint(parts[1], 10, 32)
+			if err != nil {
+				continue
+			}
+			result, evalErr := app.Interp.Eval(parts[2])
+			code := "0"
+			if evalErr != nil {
+				code = "1"
+				result = evalErr.Error()
+			}
+			resp := tcl.FormatList([]string{serial, code, result}) + "\n"
+			app.Disp.AppendProperty(xproto.ID(responder), app.atomSendRes, xproto.AtomString, []byte(resp))
+			app.Disp.Flush()
+		}
+	case app.atomSendRes:
+		rep, err := app.Disp.GetProperty(app.commWin, app.atomSendRes, true)
+		if err != nil || !rep.Found {
+			return
+		}
+		for _, line := range strings.Split(string(rep.Data), "\n") {
+			if line == "" {
+				continue
+			}
+			parts, err := tcl.ParseList(line)
+			if err != nil || len(parts) != 3 {
+				continue
+			}
+			serial, err := strconv.Atoi(parts[0])
+			if err != nil {
+				continue
+			}
+			code, _ := strconv.Atoi(parts[1])
+			app.sendResults[serial] = sendResult{code: code, result: parts[2]}
+		}
+	}
+}

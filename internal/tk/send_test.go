@@ -1,0 +1,158 @@
+package tk
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xclient"
+	"repro/internal/xserver"
+)
+
+// mkPair builds two apps on one shared server.
+func mkPair(t *testing.T, name1, name2 string) (*App, *App) {
+	t.Helper()
+	srv := xserver.New(800, 600)
+	t.Cleanup(srv.Close)
+	mk := func(name string) *App {
+		d, err := xclient.Open(srv.ConnectPipe())
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := NewApp(d, Config{Name: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(app.Destroy)
+		return app
+	}
+	return mk(name1), mk(name2)
+}
+
+// TestReentrantSend has A send to B a command that itself sends back to
+// A: the pump loop in Send must keep servicing incoming commands while
+// waiting for its own result, or this deadlocks.
+func TestReentrantSend(t *testing.T) {
+	a, b := mkPair(t, "a", "b")
+	a.MustEval(`proc fromB {} {return "A answered"}`)
+	b.MustEval(`proc relay {} {
+		set inner [send a fromB]
+		return "B got: $inner"
+	}`)
+	stop := b.StartServing()
+	defer stop()
+	got, err := a.Send("b", "relay")
+	if err != nil {
+		t.Fatalf("reentrant send: %v", err)
+	}
+	if got != "B got: A answered" {
+		t.Fatalf("reentrant send result = %q", got)
+	}
+}
+
+// TestSendResultTypes checks multi-word and special-character results
+// survive the property encoding.
+func TestSendResultTypes(t *testing.T) {
+	a, b := mkPair(t, "a", "b")
+	b.MustEval(`proc weird {} {return "braces {inside} and \[brackets\] and \$dollar"}`)
+	stop := b.StartServing()
+	defer stop()
+	got, err := a.Send("b", "weird")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `braces {inside} and [brackets] and $dollar` {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+// TestSendToDeadApp: after an application is destroyed, sends to it fail
+// with an unknown-interpreter error (the registry is cleaned up).
+func TestSendToDeadApp(t *testing.T) {
+	a, b := mkPair(t, "a", "b")
+	b.Destroy()
+	a.Update()
+	if _, err := a.Send("b", "set x"); err == nil ||
+		!strings.Contains(err.Error(), "no registered interpreter") {
+		t.Fatalf("send to dead app: %v", err)
+	}
+}
+
+// TestSendErrorCarriesMessage: a Tcl error in the target comes back as
+// the sender's error with the target's message.
+func TestSendErrorCarriesMessage(t *testing.T) {
+	a, b := mkPair(t, "a", "b")
+	b.MustEval(`proc boom {} {error "exploded in target"}`)
+	stop := b.StartServing()
+	defer stop()
+	_, err := a.Send("b", "boom")
+	if err == nil || err.Error() != "exploded in target" {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+// TestConcurrentSendsInterleaved: several sends in sequence from both
+// directions, with each side serving between calls.
+func TestSendBothDirections(t *testing.T) {
+	a, b := mkPair(t, "a", "b")
+	a.MustEval(`set who A`)
+	b.MustEval(`set who B`)
+
+	stopB := b.StartServing()
+	got1, err1 := a.Send("b", "set who")
+	stopB()
+	stopA := a.StartServing()
+	got2, err2 := b.Send("a", "set who")
+	stopA()
+	if err1 != nil || got1 != "B" {
+		t.Fatalf("a→b: %q %v", got1, err1)
+	}
+	if err2 != nil || got2 != "A" {
+		t.Fatalf("b→a: %q %v", got2, err2)
+	}
+}
+
+// TestServerDisconnectCleansRegistry: when a client's connection drops
+// without a clean Destroy (a crash), the server destroys its windows; the
+// registry entry goes stale but a later send fails rather than hanging
+// forever (timeout or missing comm window).
+func TestCrashLeavesOthersWorking(t *testing.T) {
+	srv := xserver.New(800, 600)
+	defer srv.Close()
+	d1, err := xclient.Open(srv.ConnectPipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app1, err := NewApp(d1, Config{Name: "stable"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app1.Destroy()
+
+	d2, err := xclient.Open(srv.ConnectPipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, err := NewApp(d2, Config{Name: "crasher"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app2.CreateWindow(".w", "Frame"); err != nil {
+		t.Fatal(err)
+	}
+	app2.Update()
+
+	// Simulate a crash: close the socket without unregistering.
+	d2.Close()
+
+	// The survivor keeps working.
+	if _, err := app1.CreateWindow(".b", "Frame"); err != nil {
+		t.Fatal(err)
+	}
+	app1.Update()
+	if !app1.WindowExists(".b") {
+		t.Fatal("survivor lost its windows")
+	}
+	if _, err := app1.Interp.Eval(`winfo interps`); err != nil {
+		t.Fatalf("winfo interps after crash: %v", err)
+	}
+}

@@ -1,0 +1,594 @@
+// Package tk implements the Tk toolkit intrinsics described in §3 of the
+// paper: window path names, event dispatching (X events, timers, idle
+// handlers and Tcl event bindings), resource and structure caches,
+// geometry management with the packer, the option database, selection
+// support, focus management, and the send command for inter-application
+// communication. Widgets (internal/widget) are built on these intrinsics
+// exactly as the paper's §4 describes: C code (here Go) for display and
+// behaviour, Tcl commands for creation and manipulation.
+package tk
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tcl"
+	"repro/internal/xclient"
+	"repro/internal/xproto"
+)
+
+// capitalize upper-cases the first ASCII letter of a name, forming the
+// conventional class name from an application name.
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	if s[0] >= 'a' && s[0] <= 'z' {
+		return string(s[0]-'a'+'A') + s[1:]
+	}
+	return s
+}
+
+// Widget is the hook a widget implementation attaches to a Window. The
+// intrinsics call into it for repainting and cleanup.
+type Widget interface {
+	// Redraw repaints the widget into its X window.
+	Redraw()
+	// Destroyed tells the widget its window is gone; it must release
+	// resources and unregister its widget command.
+	Destroyed()
+}
+
+// GeometryManager arranges the children ("slaves") it manages inside a
+// window. Only one geometry manager controls a given window at a time
+// (§3.4).
+type GeometryManager interface {
+	// Name identifies the manager ("pack").
+	Name() string
+	// SlaveRequest is called when a managed window changes its requested
+	// size.
+	SlaveRequest(slave *Window)
+	// LostSlave is called when the slave is destroyed or taken over by
+	// another manager.
+	LostSlave(slave *Window)
+}
+
+// Window is the toolkit's per-window structure: the structure cache of
+// §3.3 (geometry, hierarchy) plus widget and geometry-manager hooks.
+type Window struct {
+	App    *App
+	Path   string // full path name, e.g. ".a.b"
+	Name   string // last component, e.g. "b"
+	Class  string // widget class, e.g. "Button"
+	Parent *Window
+
+	// Children in creation order.
+	Children []*Window
+
+	// XID is the server-side window.
+	XID xproto.ID
+
+	// Actual geometry (cached structure information, §3.3).
+	X, Y          int
+	Width, Height int
+	BorderWidth   int
+
+	// Requested geometry, set by the widget via GeometryRequest and
+	// consumed by geometry managers (§3.4).
+	ReqWidth, ReqHeight int
+
+	// InternalBorder is space the widget wants left around slaves packed
+	// inside it.
+	InternalBorder int
+
+	Mapped    bool
+	Destroyed bool
+	TopLevel  bool
+
+	// Widget hook (may be nil for plain windows).
+	Widget Widget
+
+	// Manager is the geometry manager currently controlling this window's
+	// size/placement within its parent.
+	Manager GeometryManager
+
+	// selectedMask accumulates the X event mask this client has selected.
+	selectedMask uint32
+
+	// handlers are C-level (Go) event handlers: mask → funcs.
+	handlers []evtHandler
+
+	// history of recent device events for multi-event bindings
+	// (<Escape>q, Double-Button-1).
+	history []xproto.Event
+
+	redrawPending bool
+}
+
+type evtHandler struct {
+	mask uint32
+	fn   func(ev *xproto.Event)
+}
+
+// App is one Tk application: a Tcl interpreter plus a display connection
+// plus the window table. It corresponds to a single main window and name
+// in the send registry.
+type App struct {
+	Interp *tcl.Interp
+	Disp   *xclient.Display
+	Name   string // registered application name (send target)
+	Main   *Window
+
+	windows map[string]*Window
+	xidMap  map[xproto.ID]*Window
+
+	bindings *bindingTable
+
+	colorCache  map[string]uint32
+	colorNames  map[uint32]string
+	fontCache   map[string]*xclient.Font
+	cursorCache map[string]xproto.ID
+	bitmapCache map[string]*Bitmap
+	gcCache     map[gcKey]xproto.ID
+
+	options *optionDB
+	packer  *Packer
+
+	timers   *timerQueue
+	idle     []func()
+	posted   chan func()
+	quitFlag bool
+
+	// Selection state.
+	selOwner    *Window
+	selLost     func(win *Window)
+	selStatePtr *selState
+
+	// Send state.
+	commWin     xproto.ID
+	sendSerial  int
+	sendResults map[int]sendResult
+	registered  bool
+
+	// Atoms used by the toolkit, interned once.
+	atomRegistry xproto.Atom
+	atomSendCmd  xproto.Atom
+	atomSendRes  xproto.Atom
+	atomSelProp  xproto.Atom
+
+	destroyed bool
+}
+
+type sendResult struct {
+	code   int
+	result string
+}
+
+// gcKey identifies a shareable graphics context (§3.3: resources reused
+// across widgets).
+type gcKey struct {
+	fg, bg    uint32
+	lineWidth int
+	font      xproto.ID
+}
+
+// Config carries the parameters for creating an App.
+type Config struct {
+	// Name is the application's name for the send registry (argv[0] in
+	// real wish). Uniquified if already taken on the display.
+	Name string
+	// Class is the main window's class (defaults to the capitalized
+	// name).
+	Class string
+	// Interp may be supplied to share an existing interpreter; otherwise
+	// a new one is created.
+	Interp *tcl.Interp
+}
+
+// NewApp creates a Tk application over an open display connection,
+// creates its main window ".", registers all intrinsics Tcl commands and
+// registers the application in the send registry.
+func NewApp(d *xclient.Display, cfg Config) (*App, error) {
+	if cfg.Name == "" {
+		cfg.Name = "tk"
+	}
+	if cfg.Class == "" {
+		cfg.Class = capitalize(cfg.Name)
+	}
+	in := cfg.Interp
+	if in == nil {
+		in = tcl.New()
+	}
+	app := &App{
+		Interp:      in,
+		Disp:        d,
+		windows:     make(map[string]*Window, 32),
+		xidMap:      make(map[xproto.ID]*Window, 32),
+		bindings:    newBindingTable(),
+		colorCache:  make(map[string]uint32),
+		colorNames:  make(map[uint32]string),
+		fontCache:   make(map[string]*xclient.Font),
+		cursorCache: make(map[string]xproto.ID),
+		bitmapCache: make(map[string]*Bitmap),
+		gcCache:     make(map[gcKey]xproto.ID),
+		options:     newOptionDB(),
+		timers:      newTimerQueue(),
+		posted:      make(chan func(), 256),
+		sendResults: make(map[int]sendResult),
+	}
+
+	// Intern the toolkit's atoms (a handful of round trips, once).
+	var err error
+	if app.atomRegistry, err = d.InternAtom("TK_INTERP_REGISTRY"); err != nil {
+		return nil, err
+	}
+	app.atomSendCmd, _ = d.InternAtom("TK_SEND_COMMAND")
+	app.atomSendRes, _ = d.InternAtom("TK_SEND_RESULT")
+	app.atomSelProp, _ = d.InternAtom("TK_SELECTION")
+
+	// The main window "." is a top-level child of the root.
+	main := &Window{
+		App: app, Path: ".", Name: "", Class: cfg.Class,
+		Width: 200, Height: 200, ReqWidth: 0, ReqHeight: 0,
+		TopLevel: true,
+	}
+	main.XID = d.CreateWindow(d.Root, 0, 0, 200, 200, 0, xclient.WindowAttributes{
+		Background: 0xffffff,
+		Border:     0x000000,
+	})
+	app.windows["."] = main
+	app.xidMap[main.XID] = main
+	app.Main = main
+	app.selectStructure(main)
+	main.Map()
+
+	// Comm window for send: an unmapped override-redirect child of root.
+	app.commWin = d.CreateWindow(d.Root, -10, -10, 1, 1, 0, xclient.WindowAttributes{
+		OverrideRedirect: true,
+		EventMask:        xproto.PropertyChangeMask,
+	})
+
+	registerCommands(app)
+	registerPacker(app)
+
+	if err := app.registerName(cfg.Name); err != nil {
+		return nil, err
+	}
+	in.ExitHandler = func(code int) {
+		app.Destroy()
+	}
+	return app, nil
+}
+
+// selectStructure subscribes the app to structural events on a window.
+func (app *App) selectStructure(w *Window) {
+	w.selectedMask |= xproto.StructureNotifyMask | xproto.ExposureMask
+	app.Disp.SelectInput(w.XID, w.selectedMask)
+}
+
+// Quit asks the event loop to exit.
+func (app *App) Quit() { app.quitFlag = true }
+
+// Quitting reports whether Quit or Destroy has been called.
+func (app *App) Quitting() bool { return app.quitFlag || app.destroyed }
+
+// NameToWindow resolves a path name ("." or ".a.b") to its Window.
+func (app *App) NameToWindow(path string) (*Window, error) {
+	w, ok := app.windows[path]
+	if !ok || w.Destroyed {
+		return nil, fmt.Errorf("bad window path name %q", path)
+	}
+	return w, nil
+}
+
+// WindowExists reports whether path names a live window.
+func (app *App) WindowExists(path string) bool {
+	w, ok := app.windows[path]
+	return ok && !w.Destroyed
+}
+
+// parsePath splits ".a.b" into parent path "." + name "a.b"'s last
+// component. It validates the syntax of §3.1.
+func parsePath(path string) (parent, name string, err error) {
+	if path == "" || path[0] != '.' {
+		return "", "", fmt.Errorf("bad window path name %q", path)
+	}
+	if path == "." {
+		return "", "", fmt.Errorf("cannot create %q: it always exists", path)
+	}
+	i := strings.LastIndexByte(path, '.')
+	name = path[i+1:]
+	if name == "" || strings.Contains(name, ".") {
+		return "", "", fmt.Errorf("bad window path name %q", path)
+	}
+	if i == 0 {
+		parent = "."
+	} else {
+		parent = path[:i]
+	}
+	return parent, name, nil
+}
+
+// CreateWindow makes a new toolkit window at path with the given class,
+// as a child of its path parent. Widgets call this from their creation
+// commands.
+func (app *App) CreateWindow(path, class string) (*Window, error) {
+	return app.createWindow(path, class, false)
+}
+
+// CreateTopLevel makes a window at path whose X window is a child of the
+// root (for toplevel widgets and menus), though its path parent is still
+// the Tk window named by the path.
+func (app *App) CreateTopLevel(path, class string) (*Window, error) {
+	return app.createWindow(path, class, true)
+}
+
+func (app *App) createWindow(path, class string, top bool) (*Window, error) {
+	parentPath, name, err := parsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	if app.WindowExists(path) {
+		return nil, fmt.Errorf("window name %q already exists in parent", path)
+	}
+	parent, err := app.NameToWindow(parentPath)
+	if err != nil {
+		return nil, fmt.Errorf("bad window path name %q", path)
+	}
+	w := &Window{
+		App: app, Path: path, Name: name, Class: class,
+		Parent: parent, Width: 1, Height: 1, TopLevel: top,
+	}
+	xparent := parent.XID
+	if top {
+		xparent = app.Disp.Root
+	}
+	w.XID = app.Disp.CreateWindow(xparent, 0, 0, 1, 1, 0, xclient.WindowAttributes{
+		Background: 0xffffff,
+	})
+	parent.Children = append(parent.Children, w)
+	app.windows[path] = w
+	app.xidMap[w.XID] = w
+	app.selectStructure(w)
+	return w, nil
+}
+
+// DestroyWindow destroys a window and its descendants: Tcl widget
+// commands are deleted, widgets notified, geometry managers informed, and
+// the X windows destroyed.
+func (app *App) DestroyWindow(w *Window) {
+	if w.Destroyed {
+		return
+	}
+	// Children first (use a copy: destruction mutates the slice).
+	children := append([]*Window(nil), w.Children...)
+	for _, ch := range children {
+		app.DestroyWindow(ch)
+	}
+	w.Destroyed = true
+	w.Mapped = false
+
+	// Run <Destroy> bindings before teardown, as Tk does.
+	app.bindings.trigger(app, w, &xproto.Event{Type: xproto.DestroyNotify, Window: w.XID})
+
+	if w.Manager != nil {
+		w.Manager.LostSlave(w)
+		w.Manager = nil
+	}
+	if packer := app.packerFor(w); packer != nil {
+		packer.forgetMaster(w)
+	}
+	if w.Widget != nil {
+		w.Widget.Destroyed()
+		w.Widget = nil
+	}
+	if app.selOwner == w {
+		app.selOwner = nil
+	}
+	if app.selStatePtr != nil {
+		delete(app.selStatePtr.handlers, w)
+	}
+	app.bindings.deleteWindow(w.Path)
+	delete(app.windows, w.Path)
+	delete(app.xidMap, w.XID)
+	if w.Parent != nil {
+		sibs := w.Parent.Children
+		for i, sib := range sibs {
+			if sib == w {
+				w.Parent.Children = append(sibs[:i], sibs[i+1:]...)
+				break
+			}
+		}
+	}
+	app.Disp.DestroyWindow(w.XID)
+
+	if w == app.Main {
+		app.Destroy()
+	}
+}
+
+// Destroy tears the whole application down: unregisters from the send
+// registry, destroys the window tree and marks the interpreter dead.
+func (app *App) Destroy() {
+	if app.destroyed {
+		return
+	}
+	app.destroyed = true
+	app.quitFlag = true
+	app.unregisterName()
+	if app.Main != nil && !app.Main.Destroyed {
+		app.DestroyWindow(app.Main)
+	}
+	app.Disp.Flush()
+}
+
+// Eval evaluates a Tcl script in the application's interpreter.
+func (app *App) Eval(script string) (string, error) {
+	return app.Interp.Eval(script)
+}
+
+// MustEval evaluates a script and panics on error; for tests and
+// examples.
+func (app *App) MustEval(script string) string {
+	res, err := app.Eval(script)
+	if err != nil {
+		panic(fmt.Sprintf("tk: script failed: %v\nscript: %s", err, script))
+	}
+	return res
+}
+
+// BackgroundError reports an error from an asynchronously executed Tcl
+// command (an event binding, timer or send). If the application defines a
+// tkerror procedure it is invoked with the message (as in Tk); otherwise
+// the error is printed to the interpreter's output.
+func (app *App) BackgroundError(context string, err error) {
+	if err == nil {
+		return
+	}
+	if app.Interp.HasCommand("tkerror") {
+		if _, herr := app.Interp.Call("tkerror", err.Error()); herr == nil {
+			return
+		}
+	}
+	msg := fmt.Sprintf("tk: background error in %s: %v\n", context, err)
+	if app.Interp.Out != nil {
+		app.Interp.Out.Write([]byte(msg))
+	} else {
+		fmt.Print(msg)
+	}
+}
+
+// windowContaining returns the deepest mapped window of this application
+// containing the root-coordinate point, or nil.
+func (app *App) windowContaining(x, y int) *Window {
+	var deepest *Window
+	depth := -1
+	for _, w := range app.windows {
+		if w.Destroyed || !w.Mapped {
+			continue
+		}
+		rx, ry := w.RootCoords()
+		if x < rx || y < ry || x >= rx+w.Width || y >= ry+w.Height {
+			continue
+		}
+		d := strings.Count(w.Path, ".")
+		if w.Path == "." {
+			d = 0
+		}
+		if d > depth {
+			deepest, depth = w, d
+		}
+	}
+	return deepest
+}
+
+// RootCoords returns a window's position in root coordinates using the
+// cached structure information.
+func (w *Window) RootCoords() (int, int) {
+	x, y := 0, 0
+	for cur := w; cur != nil; cur = cur.Parent {
+		x += cur.X + cur.BorderWidth
+		y += cur.Y + cur.BorderWidth
+		if cur.TopLevel {
+			break
+		}
+	}
+	return x, y
+}
+
+// GeometryRequest records the size a widget wants for its window and
+// notifies whoever is responsible for granting it: the window's geometry
+// manager, or the toolkit's built-in top-level negotiation for ".".
+func (w *Window) GeometryRequest(width, height int) {
+	if width == w.ReqWidth && height == w.ReqHeight {
+		return
+	}
+	w.ReqWidth, w.ReqHeight = width, height
+	if w.Manager != nil {
+		w.Manager.SlaveRequest(w)
+		return
+	}
+	if w.TopLevel && !w.Destroyed {
+		// Stand-in for the window manager: grant top-level requests.
+		w.App.resizeWindow(w, w.X, w.Y, width, height, false)
+	}
+}
+
+// resizeWindow applies a geometry decision to a window, updating the
+// cache and the server.
+func (app *App) resizeWindow(w *Window, x, y, width, height int, moveToo bool) {
+	if width < 1 {
+		width = 1
+	}
+	if height < 1 {
+		height = 1
+	}
+	changed := width != w.Width || height != w.Height
+	moved := moveToo && (x != w.X || y != w.Y)
+	if !changed && !moved {
+		return
+	}
+	w.Width, w.Height = width, height
+	if moveToo {
+		w.X, w.Y = x, y
+		app.Disp.MoveResizeWindow(w.XID, x, y, width, height)
+	} else {
+		app.Disp.ResizeWindow(w.XID, width, height)
+	}
+	if w.Widget != nil {
+		w.ScheduleRedraw()
+	}
+	// A resized master needs its slaves re-laid-out.
+	if packer := app.packerFor(w); packer != nil {
+		packer.scheduleRepack(w)
+	}
+}
+
+// Map makes the window viewable.
+func (w *Window) Map() {
+	if w.Mapped || w.Destroyed {
+		return
+	}
+	w.Mapped = true
+	w.App.Disp.MapWindow(w.XID)
+}
+
+// Unmap hides the window.
+func (w *Window) Unmap() {
+	if !w.Mapped || w.Destroyed {
+		return
+	}
+	w.Mapped = false
+	w.App.Disp.UnmapWindow(w.XID)
+}
+
+// ScheduleRedraw arranges for the widget to repaint at idle time,
+// collapsing repeated damage into one repaint (a when-idle handler,
+// §3.2).
+func (w *Window) ScheduleRedraw() {
+	if w.redrawPending || w.Destroyed || w.Widget == nil {
+		return
+	}
+	w.redrawPending = true
+	w.App.DoWhenIdle(func() {
+		w.redrawPending = false
+		if !w.Destroyed && w.Widget != nil {
+			w.Widget.Redraw()
+		}
+	})
+}
+
+// AddEventHandler registers a Go-level handler for the events in mask on
+// this window, extending the X selection as needed (§3.2).
+func (w *Window) AddEventHandler(mask uint32, fn func(ev *xproto.Event)) {
+	w.handlers = append(w.handlers, evtHandler{mask: mask, fn: fn})
+	if mask&^w.selectedMask != 0 {
+		w.selectedMask |= mask
+		w.App.Disp.SelectInput(w.XID, w.selectedMask)
+	}
+}
+
+// SetBackground changes the window's X background pixel.
+func (w *Window) SetBackground(pixel uint32) {
+	w.App.Disp.SetWindowBackground(w.XID, pixel)
+}

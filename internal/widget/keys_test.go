@@ -1,0 +1,153 @@
+package widget_test
+
+import (
+	"testing"
+
+	"repro/internal/xproto"
+)
+
+func press(app interface {
+	Update()
+}, d interface {
+	FakeKey(xproto.Keysym, bool)
+}, ks xproto.Keysym) {
+	d.FakeKey(ks, true)
+	d.FakeKey(ks, false)
+	app.Update()
+}
+
+// TestEntryCursorKeys drives every entry key binding.
+func TestEntryCursorKeys(t *testing.T) {
+	app, _ := newApp(t)
+	app.MustEval(`entry .e -width 20`)
+	app.MustEval(`pack append . .e {top}`)
+	app.Update()
+	cx, cy := centerOf(t, app, ".e")
+	click(app, cx, cy)
+	app.MustEval(`.e insert 0 "abcd"`)
+	app.MustEval(`.e icursor end`)
+
+	d := app.Disp
+	press(app, d, xproto.KsLeft)
+	press(app, d, xproto.KsLeft)
+	if got := app.MustEval(`.e index insert`); got != "2" {
+		t.Fatalf("after two lefts: %s", got)
+	}
+	press(app, d, xproto.KsDelete) // deletes 'c'
+	if got := app.MustEval(`.e get`); got != "abd" {
+		t.Fatalf("after delete: %q", got)
+	}
+	press(app, d, xproto.KsHome)
+	if got := app.MustEval(`.e index insert`); got != "0" {
+		t.Fatalf("after home: %s", got)
+	}
+	press(app, d, xproto.KsRight)
+	if got := app.MustEval(`.e index insert`); got != "1" {
+		t.Fatalf("after right: %s", got)
+	}
+	press(app, d, xproto.KsEnd)
+	if got := app.MustEval(`.e index insert`); got != "3" {
+		t.Fatalf("after end: %s", got)
+	}
+	// Control combinations are left to user bindings: no insertion.
+	d.FakeKey(xproto.KsControlL, true)
+	press(app, d, 'x')
+	d.FakeKey(xproto.KsControlL, false)
+	app.Update()
+	if got := app.MustEval(`.e get`); got != "abd" {
+		t.Fatalf("control-x inserted: %q", got)
+	}
+}
+
+// TestTextCursorKeys drives the text widget's arrows and line joining.
+func TestTextCursorKeys(t *testing.T) {
+	app, _ := newApp(t)
+	app.MustEval(`text .t -width 20 -height 6`)
+	app.MustEval(`pack append . .t {top}`)
+	app.MustEval(`.t insert end "first\nsecond longer\nthird"`)
+	app.Update()
+	w, _ := app.NameToWindow(".t")
+	rx, ry := w.RootCoords()
+	click(app, rx+5, ry+5) // line 1, col 0
+	d := app.Disp
+
+	press(app, d, xproto.KsDown)
+	press(app, d, xproto.KsDown)
+	if got := app.MustEval(`.t index insert`); got != "3.0" {
+		t.Fatalf("after two downs: %s", got)
+	}
+	press(app, d, xproto.KsUp)
+	if got := app.MustEval(`.t index insert`); got != "2.0" {
+		t.Fatalf("after up: %s", got)
+	}
+	// End of line 2 via rights wraps to line 3 col 0 eventually.
+	app.MustEval(`.t mark set insert 2.end`)
+	press(app, d, xproto.KsRight)
+	if got := app.MustEval(`.t index insert`); got != "3.0" {
+		t.Fatalf("right at line end: %s", got)
+	}
+	press(app, d, xproto.KsLeft)
+	if got := app.MustEval(`.t index insert`); got != "2.13" {
+		t.Fatalf("left at line start: %s", got)
+	}
+	// Up clamps the column to the shorter line.
+	app.MustEval(`.t mark set insert 2.10`)
+	press(app, d, xproto.KsUp)
+	if got := app.MustEval(`.t index insert`); got != "1.5" {
+		t.Fatalf("up clamps: %s", got)
+	}
+}
+
+// TestCanvasAllItemKindsRender exercises every item renderer.
+func TestCanvasAllItemKindsRender(t *testing.T) {
+	app, _ := newApp(t)
+	app.MustEval(`canvas .c -width 200 -height 160 -background white`)
+	app.MustEval(`pack append . .c {top}`)
+	app.MustEval(`.c create line 0 0 50 50 20 70 -fill red -width 2`)
+	app.MustEval(`.c create rectangle 60 10 100 40 -fill blue`)
+	app.MustEval(`.c create oval 110 10 170 50 -fill green`)
+	app.MustEval(`.c create polygon 20 90 60 90 40 130 -fill purple`)
+	app.MustEval(`.c create text 80 100 -text "words" -fill black`)
+	app.Update()
+	w, _ := app.NameToWindow(".c")
+	shot, _ := app.Disp.Screenshot(w.XID)
+	colors := map[uint32]int{}
+	for i := 0; i+2 < len(shot.Pixels); i += 3 {
+		px := uint32(shot.Pixels[i])<<16 | uint32(shot.Pixels[i+1])<<8 | uint32(shot.Pixels[i+2])
+		colors[px]++
+	}
+	for name, px := range map[string]uint32{
+		"red": 0xff0000, "blue": 0x0000ff, "green": 0x00ff00,
+		"purple": 0xa020f0, "black": 0x000000,
+	} {
+		if colors[px] < 10 {
+			t.Errorf("item color %s rendered %d pixels", name, colors[px])
+		}
+	}
+}
+
+// TestListboxSelectionLostToEntry: two widgets in one app trade the
+// selection; the loser deselects.
+func TestSelectionLostBetweenWidgets(t *testing.T) {
+	app, _ := newApp(t)
+	app.MustEval(`listbox .l -geometry 10x3`)
+	app.MustEval(`entry .e`)
+	app.MustEval(`pack append . .l {top} .e {top}`)
+	app.MustEval(`.l insert end item`)
+	app.MustEval(`.l select from 0`)
+	app.Update()
+	if got := app.MustEval(`selection get`); got != "item" {
+		t.Fatalf("listbox selection = %q", got)
+	}
+	// The entry claims it.
+	app.MustEval(`.e insert 0 "entrytext"`)
+	app.MustEval(`.e select range 0 5`)
+	app.Update()
+	if got := app.MustEval(`selection get`); got != "entry" {
+		t.Fatalf("entry selection = %q", got)
+	}
+	// The listbox deselected when it lost the X selection.
+	if got := app.MustEval(`.l curselection`); got != "" {
+		t.Fatalf("listbox still selected: %q", got)
+	}
+}

@@ -1,0 +1,194 @@
+package widget_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xproto"
+)
+
+func TestTextInsertDeleteGet(t *testing.T) {
+	app, _ := newApp(t)
+	app.MustEval(`text .t -width 30 -height 8`)
+	app.MustEval(`pack append . .t {top}`)
+	app.Update()
+
+	app.MustEval(`.t insert end "hello world"`)
+	if got := app.MustEval(`.t get 1.0 end`); got != "hello world" {
+		t.Fatalf("get = %q", got)
+	}
+	// Multi-line insert splits lines.
+	app.MustEval(`.t insert end "\nsecond line\nthird"`)
+	if got := app.MustEval(`.t lines`); got != "3" {
+		t.Fatalf("lines = %s", got)
+	}
+	if got := app.MustEval(`.t get 2.0 2.end`); got != "second line" {
+		t.Fatalf("line 2 = %q", got)
+	}
+	// Insert in the middle.
+	app.MustEval(`.t insert 1.5 ","`)
+	if got := app.MustEval(`.t get 1.0 1.end`); got != "hello, world" {
+		t.Fatalf("after mid insert = %q", got)
+	}
+	// Delete a range spanning lines.
+	app.MustEval(`.t delete 1.5 2.6`)
+	if got := app.MustEval(`.t get 1.0 1.end`); got != "hello line" {
+		t.Fatalf("after span delete = %q", got)
+	}
+	if got := app.MustEval(`.t lines`); got != "2" {
+		t.Fatalf("lines after delete = %s", got)
+	}
+	// Single-character get and delete.
+	if got := app.MustEval(`.t get 1.0`); got != "h" {
+		t.Fatalf("single get = %q", got)
+	}
+	app.MustEval(`.t delete 1.0`)
+	if got := app.MustEval(`.t get 1.0 1.end`); got != "ello line" {
+		t.Fatalf("after single delete = %q", got)
+	}
+}
+
+func TestTextIndices(t *testing.T) {
+	app, _ := newApp(t)
+	app.MustEval(`text .t`)
+	app.MustEval(`.t insert end "abc\ndefgh"`)
+	if got := app.MustEval(`.t index end`); got != "2.5" {
+		t.Fatalf("index end = %q", got)
+	}
+	if got := app.MustEval(`.t index 2.end`); got != "2.5" {
+		t.Fatalf("index 2.end = %q", got)
+	}
+	// Out-of-range indices clamp.
+	if got := app.MustEval(`.t index 99.99`); got != "2.5" {
+		t.Fatalf("clamped index = %q", got)
+	}
+	// insert mark.
+	app.MustEval(`.t mark set insert 1.2`)
+	if got := app.MustEval(`.t index insert`); got != "1.2" {
+		t.Fatalf("insert mark = %q", got)
+	}
+	if _, err := app.Eval(`.t index bogus`); err == nil {
+		t.Fatal("bad index should fail")
+	}
+}
+
+func TestTextTyping(t *testing.T) {
+	app, _ := newApp(t)
+	app.MustEval(`text .t -width 20 -height 5`)
+	app.MustEval(`pack append . .t {top}`)
+	app.Update()
+	w, _ := app.NameToWindow(".t")
+	rx, ry := w.RootCoords()
+	click(app, rx+5, ry+5) // focus + cursor at 1.0
+	for _, k := range "hi" {
+		app.Disp.FakeKey(xproto.Keysym(k), true)
+		app.Disp.FakeKey(xproto.Keysym(k), false)
+	}
+	app.Disp.FakeKey(xproto.KsReturn, true)
+	app.Disp.FakeKey(xproto.KsReturn, false)
+	app.Disp.FakeKey('x', true)
+	app.Disp.FakeKey('x', false)
+	app.Update()
+	if got := app.MustEval(`.t get 1.0 end`); got != "hi\nx" {
+		t.Fatalf("typed = %q", got)
+	}
+	// Backspace joins lines when at column 0.
+	app.Disp.FakeKey(xproto.KsBackSpace, true)
+	app.Disp.FakeKey(xproto.KsBackSpace, false)
+	app.Disp.FakeKey(xproto.KsBackSpace, false)
+	app.Update()
+	app.MustEval(`.t mark set insert 2.0`)
+	app.Disp.FakeKey(xproto.KsBackSpace, true)
+	app.Disp.FakeKey(xproto.KsBackSpace, false)
+	app.Update()
+	if got := app.MustEval(`.t lines`); got != "1" {
+		t.Fatalf("lines after join = %s (%q)", got, app.MustEval(`.t get 1.0 end`))
+	}
+}
+
+func TestTextTagsDisplayAndBindings(t *testing.T) {
+	app, _ := newApp(t)
+	app.MustEval(`text .t -width 30 -height 5 -background white`)
+	app.MustEval(`pack append . .t {top}`)
+	app.MustEval(`.t insert end "normal LINK normal"`)
+	app.MustEval(`.t tag add hot 1.7 1.11`)
+	app.MustEval(`.t tag configure hot -background yellow -foreground red -underline 1`)
+	app.MustEval(`.t tag bind hot <Button-1> {set followed 1}`)
+	app.Update()
+	if got := app.MustEval(`.t tag names`); got != "hot" {
+		t.Fatalf("tag names = %q", got)
+	}
+	// The tag background rendered.
+	w, _ := app.NameToWindow(".t")
+	shot, _ := app.Disp.Screenshot(w.XID)
+	yellow := 0
+	for i := 0; i+2 < len(shot.Pixels); i += 3 {
+		if shot.Pixels[i] == 0xff && shot.Pixels[i+1] == 0xff && shot.Pixels[i+2] == 0 {
+			yellow++
+		}
+	}
+	if yellow < 20 {
+		t.Fatalf("tag background rendered %d yellow pixels", yellow)
+	}
+	// Clicking the tagged range fires the binding (§6 hypertext).
+	rx, ry := w.RootCoords()
+	cw := 6 // font advance
+	click(app, rx+2+3+8*cw, ry+8)
+	if got := app.MustEval(`set followed`); got != "1" {
+		t.Fatalf("tag binding: followed = %q", got)
+	}
+	// Clicking outside the range does not.
+	app.MustEval(`set followed 0`)
+	click(app, rx+2+3+1*cw, ry+8)
+	if got := app.MustEval(`set followed`); got != "0" {
+		t.Fatal("tag binding fired outside its range")
+	}
+	// Query and remove.
+	if app.MustEval(`.t tag bind hot <Button-1>`) == "" {
+		t.Fatal("tag bind query")
+	}
+	app.MustEval(`.t tag remove hot`)
+	app.Update()
+}
+
+func TestTextScrollLinkage(t *testing.T) {
+	app, _ := newApp(t)
+	app.MustEval(`scrollbar .sb -command ".t view"`)
+	app.MustEval(`text .t -width 20 -height 4 -scroll ".sb set"`)
+	app.MustEval(`pack append . .sb {right filly} .t {left}`)
+	for i := 0; i < 20; i++ {
+		app.MustEval(`.t insert end "line\n"`)
+	}
+	app.Update()
+	got := app.MustEval(`.sb get`)
+	if !strings.HasPrefix(got, "21 4 0") {
+		t.Fatalf(".sb get = %q", got)
+	}
+	app.MustEval(`.t view 10`)
+	app.Update()
+	if got := app.MustEval(`.sb get`); !strings.HasPrefix(got, "21 4 10") {
+		t.Fatalf("after view: %q", got)
+	}
+}
+
+func TestTextEditorScenario(t *testing.T) {
+	// The §6 debugger/editor duo, now with a real text widget: highlight
+	// the current line via a tag.
+	app, _ := newApp(t)
+	app.MustEval(`text .src -width 30 -height 8`)
+	app.MustEval(`pack append . .src {top}`)
+	app.MustEval(`.src insert end "int main() \{\n  compute();\n  return 0;\n\}"`)
+	app.MustEval(`proc highlight {line} {
+		.src tag remove pc
+		.src tag add pc $line.0 $line.end
+		.src tag configure pc -background LightSteelBlue
+	}`)
+	app.MustEval(`highlight 2`)
+	app.Update()
+	if got := app.MustEval(`.src get 2.0 2.end`); got != "  compute();" {
+		t.Fatalf("line 2 = %q", got)
+	}
+	if got := app.MustEval(`.src tag names`); got != "pc" {
+		t.Fatalf("tags = %q", got)
+	}
+}

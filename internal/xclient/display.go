@@ -1,0 +1,326 @@
+// Package xclient is the client-side library for the simulated X display
+// server — the analogue of Xlib in the paper's stack. It manages the
+// connection, buffers requests, performs round trips for requests with
+// replies, maintains the incoming event queue, and provides typed
+// wrappers for every request the Tk toolkit needs.
+package xclient
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/xproto"
+)
+
+// Display is an open connection to a display server.
+type Display struct {
+	conn net.Conn
+
+	// Screen parameters from the setup block.
+	Root   xproto.ID
+	Width  int
+	Height int
+
+	// ErrorHandler receives asynchronous protocol errors (errors for
+	// requests nobody was waiting on). Defaults to collecting them in
+	// Errors.
+	ErrorHandler func(msg string)
+
+	mu      sync.Mutex // serializes writers and round trips
+	wbuf    []byte
+	seq     uint64
+	idNext  uint32
+	closed  bool
+	pending chan serverMsg
+
+	// Incoming events are buffered in an unbounded queue (as Xlib's
+	// event queue is) so the socket reader never blocks however far the
+	// application falls behind; a feeder goroutine moves them onto the
+	// events channel consumers select on.
+	events  chan xproto.Event
+	evMu    sync.Mutex
+	evCond  *sync.Cond
+	evQueue []xproto.Event
+	evDone  bool
+
+	errMu  sync.Mutex
+	errors []string
+
+	readerDone chan struct{}
+	stop       chan struct{} // closed by Close; releases the feeder
+}
+
+type serverMsg struct {
+	kind    byte
+	payload []byte
+}
+
+const eventChanSize = 64
+
+// Open establishes a Display over an existing connection (from
+// xserver.ConnectPipe or net.Dial).
+func Open(conn net.Conn) (*Display, error) {
+	d := &Display{
+		conn:       conn,
+		pending:    make(chan serverMsg, 256),
+		events:     make(chan xproto.Event, eventChanSize),
+		readerDone: make(chan struct{}),
+		stop:       make(chan struct{}),
+	}
+	d.evCond = sync.NewCond(&d.evMu)
+	// The setup block arrives before anything else.
+	kind, payload, err := xproto.ReadServerFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("xclient: connection setup failed: %w", err)
+	}
+	if kind != xproto.KindReply {
+		conn.Close()
+		return nil, fmt.Errorf("xclient: unexpected setup message kind %d", kind)
+	}
+	var setup xproto.SetupReply
+	setup.Decode(xproto.NewReader(payload))
+	d.Root = setup.Root
+	d.Width = int(setup.Width)
+	d.Height = int(setup.Height)
+	d.idNext = setup.ResourceIDBase
+	go d.readLoop()
+	go d.feedEvents()
+	return d, nil
+}
+
+// Dial connects to a display server at a TCP address.
+func Dial(addr string) (*Display, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Open(conn)
+}
+
+// Close shuts the connection down.
+func (d *Display) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	d.conn.Close()
+	close(d.stop)
+	// Wake the feeder so it can observe the stop and exit.
+	d.evMu.Lock()
+	d.evCond.Signal()
+	d.evMu.Unlock()
+}
+
+// Closed reports whether the display connection has been closed.
+func (d *Display) Closed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.closed
+}
+
+// NewID allocates a fresh resource ID from this connection's range.
+func (d *Display) NewID() xproto.ID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.idNext++
+	return xproto.ID(d.idNext)
+}
+
+// readLoop dispatches incoming server messages. Events go to the
+// unbounded queue so this loop never stalls on a slow consumer.
+func (d *Display) readLoop() {
+	defer close(d.readerDone)
+	for {
+		kind, payload, err := xproto.ReadServerFrame(d.conn)
+		if err != nil {
+			d.evMu.Lock()
+			d.evDone = true
+			d.evCond.Signal()
+			d.evMu.Unlock()
+			// Fail any round trip still waiting for a reply.
+			close(d.pending)
+			return
+		}
+		switch kind {
+		case xproto.KindEvent:
+			var ev xproto.Event
+			ev.Decode(xproto.NewReader(payload))
+			d.evMu.Lock()
+			d.evQueue = append(d.evQueue, ev)
+			d.evCond.Signal()
+			d.evMu.Unlock()
+		case xproto.KindReply, xproto.KindError:
+			d.pending <- serverMsg{kind: kind, payload: payload}
+		}
+	}
+}
+
+// feedEvents moves queued events onto the events channel, closing it
+// when the connection has dropped and the queue is drained.
+func (d *Display) feedEvents() {
+	for {
+		d.evMu.Lock()
+		for len(d.evQueue) == 0 && !d.evDone {
+			d.evCond.Wait()
+		}
+		if len(d.evQueue) == 0 && d.evDone {
+			d.evMu.Unlock()
+			close(d.events)
+			return
+		}
+		ev := d.evQueue[0]
+		d.evQueue = d.evQueue[1:]
+		if len(d.evQueue) == 0 {
+			// Let the backing array be reclaimed after bursts.
+			d.evQueue = nil
+		}
+		d.evMu.Unlock()
+		select {
+		case d.events <- ev:
+		case <-d.stop:
+			// Consumer is gone (explicit Close): discard and finish.
+			close(d.events)
+			return
+		}
+	}
+}
+
+// Events returns the incoming event channel; it is closed when the
+// connection drops.
+func (d *Display) Events() <-chan xproto.Event { return d.events }
+
+// NextEvent blocks for the next event; ok is false after disconnect.
+func (d *Display) NextEvent() (xproto.Event, bool) {
+	ev, ok := <-d.events
+	return ev, ok
+}
+
+// PollEvent returns an event if one is queued.
+func (d *Display) PollEvent() (xproto.Event, bool) {
+	select {
+	case ev, ok := <-d.events:
+		return ev, ok
+	default:
+		return xproto.Event{}, false
+	}
+}
+
+// asyncError records or reports a protocol error nobody is waiting on.
+func (d *Display) asyncError(msg string) {
+	if d.ErrorHandler != nil {
+		d.ErrorHandler(msg)
+		return
+	}
+	d.errMu.Lock()
+	d.errors = append(d.errors, msg)
+	d.errMu.Unlock()
+}
+
+// TakeErrors returns and clears the accumulated asynchronous errors.
+func (d *Display) TakeErrors() []string {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	errs := d.errors
+	d.errors = nil
+	return errs
+}
+
+// send buffers a request. Must be called with d.mu held.
+func (d *Display) send(req xproto.Request) uint64 {
+	w := xproto.NewWriter()
+	req.Encode(w)
+	payload := w.Bytes()
+	d.seq++
+	hdr := []byte{
+		byte(req.Op() >> 8), byte(req.Op()),
+		byte(len(payload) >> 24), byte(len(payload) >> 16),
+		byte(len(payload) >> 8), byte(len(payload)),
+	}
+	d.wbuf = append(d.wbuf, hdr...)
+	d.wbuf = append(d.wbuf, payload...)
+	return d.seq
+}
+
+// flushLocked writes the buffered requests. Must be called with d.mu
+// held.
+func (d *Display) flushLocked() error {
+	if len(d.wbuf) == 0 || d.closed {
+		return nil
+	}
+	_, err := d.conn.Write(d.wbuf)
+	d.wbuf = d.wbuf[:0]
+	return err
+}
+
+// Request buffers a one-way request (no reply). Like Xlib, requests are
+// batched until a Flush or a round trip. Requests on a closed display
+// are discarded.
+func (d *Display) Request(req xproto.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.send(req)
+	// Keep the buffer bounded even without explicit flushes.
+	if len(d.wbuf) >= 32<<10 {
+		_ = d.flushLocked()
+	}
+}
+
+// Flush writes all buffered requests to the server.
+func (d *Display) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.flushLocked()
+}
+
+// RoundTrip sends a request and blocks until its reply arrives, decoding
+// it with decode. Protocol errors for this request surface as errors.
+func (d *Display) RoundTrip(req xproto.Request, decode func(r *xproto.Reader)) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("xclient: display closed")
+	}
+	seq := d.send(req)
+	if err := d.flushLocked(); err != nil {
+		return err
+	}
+	for {
+		msg, ok := <-d.pending
+		if !ok {
+			return fmt.Errorf("xclient: connection lost")
+		}
+		r := xproto.NewReader(msg.payload)
+		gotSeq := r.U64()
+		if msg.kind == xproto.KindError {
+			text := r.String()
+			if gotSeq == seq {
+				return fmt.Errorf("x error: %s", text)
+			}
+			d.asyncError(text)
+			continue
+		}
+		if gotSeq != seq {
+			// A reply for a request we did not wait on; should not
+			// happen with serialized round trips.
+			d.asyncError(fmt.Sprintf("unexpected reply seq %d (want %d)", gotSeq, seq))
+			continue
+		}
+		if decode != nil {
+			decode(r)
+		}
+		return r.Err()
+	}
+}
+
+// Sync flushes and waits until the server has processed everything
+// (an empty round trip, like XSync).
+func (d *Display) Sync() error {
+	return d.RoundTrip(&xproto.PingReq{}, nil)
+}

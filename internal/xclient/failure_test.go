@@ -1,0 +1,163 @@
+package xclient_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/xclient"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// TestServerShutdownSurfacesCleanly: when the server dies, the event
+// channel closes and round trips fail rather than hanging.
+func TestServerShutdownSurfacesCleanly(t *testing.T) {
+	srv := xserver.New(400, 300)
+	d, err := xclient.Open(srv.ConnectPipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	// The event channel closes.
+	select {
+	case _, ok := <-d.Events():
+		if ok {
+			// Drain any final events; the channel must close eventually.
+			deadline := time.After(2 * time.Second)
+			for {
+				select {
+				case _, ok := <-d.Events():
+					if !ok {
+						goto closed
+					}
+				case <-deadline:
+					t.Fatal("event channel never closed")
+				}
+			}
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no close notification")
+	}
+closed:
+	// Round trips fail promptly.
+	if err := d.Sync(); err == nil {
+		t.Fatal("Sync after server death should fail")
+	}
+}
+
+// TestClientCloseIsIdempotent: closing twice and using a closed display
+// is safe.
+func TestClientCloseIsIdempotent(t *testing.T) {
+	srv := xserver.New(400, 300)
+	defer srv.Close()
+	d, err := xclient.Open(srv.ConnectPipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d.Close()
+	if !d.Closed() {
+		t.Fatal("Closed() should report true")
+	}
+	if err := d.Sync(); err == nil {
+		t.Fatal("Sync on closed display should fail")
+	}
+	// One-way requests on a closed display are dropped without panic.
+	d.MapWindow(5)
+	d.Flush()
+}
+
+// TestAsyncErrorsCollected: errors for one-way requests surface through
+// TakeErrors at the next round trip.
+func TestAsyncErrorsCollected(t *testing.T) {
+	srv := xserver.New(400, 300)
+	defer srv.Close()
+	d, err := xclient.Open(srv.ConnectPipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// MapWindow on a bogus ID errors asynchronously.
+	d.Request(&xproto.MapWindowReq{Window: 999999})
+	d.Flush()
+	// A later round trip must still succeed.
+	if err := d.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	errs := d.TakeErrors()
+	if len(errs) != 1 {
+		t.Fatalf("collected %d async errors, want 1: %v", len(errs), errs)
+	}
+	if len(d.TakeErrors()) != 0 {
+		t.Fatal("TakeErrors should clear")
+	}
+}
+
+// TestErrorHandlerCallback: a registered handler receives async errors
+// instead of the queue.
+func TestErrorHandlerCallback(t *testing.T) {
+	srv := xserver.New(400, 300)
+	defer srv.Close()
+	d, err := xclient.Open(srv.ConnectPipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got := make(chan string, 1)
+	d.ErrorHandler = func(msg string) { got <- msg }
+	d.Request(&xproto.DestroyWindowReq{Window: 424242})
+	d.Request(&xproto.MapWindowReq{Window: 424242})
+	d.Flush()
+	d.Sync()
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("error handler never called")
+	}
+}
+
+// TestAppSurvivesPeerDisconnect: one client dropping its connection does
+// not disturb another client's windows on the same server.
+func TestAppSurvivesPeerDisconnect(t *testing.T) {
+	srv := xserver.New(400, 300)
+	defer srv.Close()
+	d1, _ := xclient.Open(srv.ConnectPipe())
+	defer d1.Close()
+	d2, _ := xclient.Open(srv.ConnectPipe())
+
+	w1 := d1.CreateWindow(d1.Root, 0, 0, 50, 50, 0, xclient.WindowAttributes{})
+	w2 := d2.CreateWindow(d2.Root, 60, 0, 50, 50, 0, xclient.WindowAttributes{})
+	d1.MapWindow(w1)
+	d2.MapWindow(w2)
+	d1.Sync()
+	d2.Sync()
+
+	d2.Close()
+	// Allow the server to notice and clean up.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		tree, err := d1.QueryTree(d1.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tree.Children) == 1 && tree.Children[0] == w1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer windows not cleaned up: %v", tree.Children)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The survivor still draws and reads fine.
+	if _, err := d1.GetGeometry(w1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d1.GetGeometry(w2); err == nil {
+		t.Fatal("dead client's window should be gone")
+	}
+}

@@ -1,0 +1,342 @@
+package xproto
+
+// ID identifies a server-side resource: window, pixmap, GC, font or
+// cursor. ID 0 is None. Clients allocate IDs from a per-connection base
+// handed out at connection setup, exactly as in X11.
+type ID uint32
+
+// None is the null resource ID.
+const None ID = 0
+
+// Atom is an interned string identifier.
+type Atom uint32
+
+// AtomNone is the null atom.
+const AtomNone Atom = 0
+
+// Predefined atoms, interned by the server at startup with these fixed
+// values (like X11's pre-defined atoms).
+const (
+	AtomPrimary   Atom = 1 // PRIMARY selection
+	AtomSecondary Atom = 2
+	AtomString    Atom = 3  // STRING target type
+	AtomWMName    Atom = 39 // WM_NAME
+)
+
+// PredefinedAtoms maps the fixed atom values to their names.
+var PredefinedAtoms = map[Atom]string{
+	AtomPrimary:   "PRIMARY",
+	AtomSecondary: "SECONDARY",
+	AtomString:    "STRING",
+	AtomWMName:    "WM_NAME",
+}
+
+// Event types (values follow the X11 core protocol numbering).
+const (
+	KeyPress         = 2
+	KeyRelease       = 3
+	ButtonPress      = 4
+	ButtonRelease    = 5
+	MotionNotify     = 6
+	EnterNotify      = 7
+	LeaveNotify      = 8
+	FocusIn          = 9
+	FocusOut         = 10
+	Expose           = 12
+	CreateNotify     = 16
+	DestroyNotify    = 17
+	UnmapNotify      = 18
+	MapNotify        = 19
+	ConfigureNotify  = 22
+	PropertyNotify   = 28
+	SelectionClear   = 29
+	SelectionRequest = 30
+	SelectionNotify  = 31
+	ClientMessage    = 33
+	LASTEvent        = 36
+)
+
+// EventTypeName returns a human-readable name for an event type.
+func EventTypeName(t int) string {
+	names := map[int]string{
+		KeyPress: "KeyPress", KeyRelease: "KeyRelease",
+		ButtonPress: "ButtonPress", ButtonRelease: "ButtonRelease",
+		MotionNotify: "MotionNotify", EnterNotify: "EnterNotify",
+		LeaveNotify: "LeaveNotify", FocusIn: "FocusIn", FocusOut: "FocusOut",
+		Expose: "Expose", CreateNotify: "CreateNotify",
+		DestroyNotify: "DestroyNotify", UnmapNotify: "UnmapNotify",
+		MapNotify: "MapNotify", ConfigureNotify: "ConfigureNotify",
+		PropertyNotify: "PropertyNotify", SelectionClear: "SelectionClear",
+		SelectionRequest: "SelectionRequest", SelectionNotify: "SelectionNotify",
+		ClientMessage: "ClientMessage",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return "Unknown"
+}
+
+// Event masks (X11 values). A client selects interest in events on a
+// window by setting its event mask via ChangeWindowAttributes.
+const (
+	KeyPressMask         uint32 = 1 << 0
+	KeyReleaseMask       uint32 = 1 << 1
+	ButtonPressMask      uint32 = 1 << 2
+	ButtonReleaseMask    uint32 = 1 << 3
+	EnterWindowMask      uint32 = 1 << 4
+	LeaveWindowMask      uint32 = 1 << 5
+	PointerMotionMask    uint32 = 1 << 6
+	ButtonMotionMask     uint32 = 1 << 13
+	ExposureMask         uint32 = 1 << 15
+	StructureNotifyMask  uint32 = 1 << 17
+	SubstructureMask     uint32 = 1 << 19
+	FocusChangeMask      uint32 = 1 << 21
+	PropertyChangeMask   uint32 = 1 << 22
+	SelectionNotifyFlag  uint32 = 1 << 23 // always delivered; flag unused
+	AllEventsMask        uint32 = 0xFFFFFF
+	NoEventMask          uint32 = 0
+	DefaultSelectionMask        = ExposureMask | StructureNotifyMask
+)
+
+// EventMaskFor maps an event type to the mask that selects it.
+func EventMaskFor(t int) uint32 {
+	switch t {
+	case KeyPress:
+		return KeyPressMask
+	case KeyRelease:
+		return KeyReleaseMask
+	case ButtonPress:
+		return ButtonPressMask
+	case ButtonRelease:
+		return ButtonReleaseMask
+	case MotionNotify:
+		return PointerMotionMask
+	case EnterNotify:
+		return EnterWindowMask
+	case LeaveNotify:
+		return LeaveWindowMask
+	case FocusIn, FocusOut:
+		return FocusChangeMask
+	case Expose:
+		return ExposureMask
+	case DestroyNotify, UnmapNotify, MapNotify, ConfigureNotify:
+		return StructureNotifyMask
+	case PropertyNotify:
+		return PropertyChangeMask
+	case SelectionClear, SelectionRequest, SelectionNotify, ClientMessage:
+		// Delivered to the involved window's clients unconditionally.
+		return 0
+	}
+	return 0
+}
+
+// Modifier and button state masks (X11 values), reported in Event.State.
+const (
+	ShiftMask   uint16 = 1 << 0
+	LockMask    uint16 = 1 << 1
+	ControlMask uint16 = 1 << 2
+	Mod1Mask    uint16 = 1 << 3 // Meta / Alt
+	Mod2Mask    uint16 = 1 << 4
+	Button1Mask uint16 = 1 << 8
+	Button2Mask uint16 = 1 << 9
+	Button3Mask uint16 = 1 << 10
+	Button4Mask uint16 = 1 << 11
+	Button5Mask uint16 = 1 << 12
+)
+
+// ButtonMask returns the state mask bit for button n (1-5).
+func ButtonMask(n int) uint16 {
+	if n < 1 || n > 5 {
+		return 0
+	}
+	return Button1Mask << uint(n-1)
+}
+
+// Keysym identifies a keyboard symbol. Printable ASCII keysyms equal
+// their character codes, as in X11.
+type Keysym uint32
+
+// Non-ASCII keysyms (X11 values).
+const (
+	KsBackSpace Keysym = 0xff08
+	KsTab       Keysym = 0xff09
+	KsReturn    Keysym = 0xff0d
+	KsEscape    Keysym = 0xff1b
+	KsDelete    Keysym = 0xffff
+	KsHome      Keysym = 0xff50
+	KsLeft      Keysym = 0xff51
+	KsUp        Keysym = 0xff52
+	KsRight     Keysym = 0xff53
+	KsDown      Keysym = 0xff54
+	KsPrior     Keysym = 0xff55 // Page Up
+	KsNext      Keysym = 0xff56 // Page Down
+	KsEnd       Keysym = 0xff57
+	KsF1        Keysym = 0xffbe
+	KsShiftL    Keysym = 0xffe1
+	KsShiftR    Keysym = 0xffe2
+	KsControlL  Keysym = 0xffe3
+	KsControlR  Keysym = 0xffe4
+	KsMetaL     Keysym = 0xffe7
+	KsMetaR     Keysym = 0xffe8
+	KsAltL      Keysym = 0xffe9
+	KsSpace     Keysym = 0x20
+)
+
+// keysymNames maps symbolic names (as used in bind event specifications,
+// Figure 7 of the paper) to keysyms.
+var keysymNames = map[string]Keysym{
+	"BackSpace":  KsBackSpace,
+	"Tab":        KsTab,
+	"Return":     KsReturn,
+	"Escape":     KsEscape,
+	"Delete":     KsDelete,
+	"Home":       KsHome,
+	"Left":       KsLeft,
+	"Up":         KsUp,
+	"Right":      KsRight,
+	"Down":       KsDown,
+	"Prior":      KsPrior,
+	"Next":       KsNext,
+	"End":        KsEnd,
+	"F1":         KsF1,
+	"space":      KsSpace,
+	"Shift_L":    KsShiftL,
+	"Shift_R":    KsShiftR,
+	"Control_L":  KsControlL,
+	"Control_R":  KsControlR,
+	"Meta_L":     KsMetaL,
+	"Meta_R":     KsMetaR,
+	"Alt_L":      KsAltL,
+	"less":       '<',
+	"greater":    '>',
+	"comma":      ',',
+	"period":     '.',
+	"minus":      '-',
+	"plus":       '+',
+	"percent":    '%',
+	"dollar":     '$',
+	"asciitilde": '~',
+}
+
+// KeysymFromName resolves a keysym name: a single printable character
+// stands for itself; otherwise the symbolic table is consulted.
+func KeysymFromName(name string) (Keysym, bool) {
+	if len(name) == 1 && name[0] >= 0x20 && name[0] < 0x7f {
+		return Keysym(name[0]), true
+	}
+	ks, ok := keysymNames[name]
+	return ks, ok
+}
+
+// KeysymName returns the symbolic name of a keysym, or the character
+// itself for printable ASCII.
+func KeysymName(ks Keysym) string {
+	if ks == KsSpace {
+		return "space"
+	}
+	if ks >= 0x21 && ks < 0x7f {
+		return string(rune(ks))
+	}
+	for name, v := range keysymNames {
+		if v == ks {
+			return name
+		}
+	}
+	return ""
+}
+
+// IsModifierKeysym reports whether ks is a modifier key.
+func IsModifierKeysym(ks Keysym) bool {
+	switch ks {
+	case KsShiftL, KsShiftR, KsControlL, KsControlR, KsMetaL, KsMetaR, KsAltL:
+		return true
+	}
+	return false
+}
+
+// KeysymModifier returns the state mask a modifier keysym contributes
+// while held, or 0.
+func KeysymModifier(ks Keysym) uint16 {
+	switch ks {
+	case KsShiftL, KsShiftR:
+		return ShiftMask
+	case KsControlL, KsControlR:
+		return ControlMask
+	case KsMetaL, KsMetaR, KsAltL:
+		return Mod1Mask
+	}
+	return 0
+}
+
+// KeysymRune returns the text a key press inserts, applying the shift
+// modifier to letters, and "" for non-printing keys.
+func KeysymRune(ks Keysym, state uint16) string {
+	if ks == KsReturn {
+		return "\n"
+	}
+	if ks == KsTab {
+		return "\t"
+	}
+	if ks < 0x20 || ks >= 0x7f {
+		return ""
+	}
+	c := byte(ks)
+	if state&ShiftMask != 0 {
+		if c >= 'a' && c <= 'z' {
+			c = c - 'a' + 'A'
+		} else if sh, ok := shifted[c]; ok {
+			c = sh
+		}
+	}
+	return string(c)
+}
+
+// shifted maps unshifted US-keyboard characters to their shifted forms.
+var shifted = map[byte]byte{
+	'1': '!', '2': '@', '3': '#', '4': '$', '5': '%', '6': '^',
+	'7': '&', '8': '*', '9': '(', '0': ')', '-': '_', '=': '+',
+	'[': '{', ']': '}', '\\': '|', ';': ':', '\'': '"', ',': '<',
+	'.': '>', '/': '?', '`': '~',
+}
+
+// Window stacking modes for ConfigureWindow.
+const (
+	StackAbove = 0
+	StackBelow = 1
+)
+
+// ConfigureWindow value mask bits.
+const (
+	CWX           uint16 = 1 << 0
+	CWY           uint16 = 1 << 1
+	CWWidth       uint16 = 1 << 2
+	CWHeight      uint16 = 1 << 3
+	CWBorderWidth uint16 = 1 << 4
+	CWStackMode   uint16 = 1 << 6
+)
+
+// GC value mask bits for ChangeGC/CreateGC.
+const (
+	GCForeground uint32 = 1 << 2
+	GCBackground uint32 = 1 << 3
+	GCLineWidth  uint32 = 1 << 4
+	GCFont       uint32 = 1 << 14
+)
+
+// Property change modes.
+const (
+	PropModeReplace = 0
+	PropModePrepend = 1
+	PropModeAppend  = 2
+)
+
+// PropertyNotify states.
+const (
+	PropertyNewValue = 0
+	PropertyDeleted  = 1
+)
+
+// Focus special values.
+const (
+	FocusPointerRoot ID = 1 // focus follows the pointer (root window ID)
+)

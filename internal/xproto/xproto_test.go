@@ -1,0 +1,232 @@
+package xproto
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderPrimitives(t *testing.T) {
+	w := NewWriter()
+	w.PutU8(0xab)
+	w.PutU16(0x1234)
+	w.PutU32(0xdeadbeef)
+	w.PutU64(0x0123456789abcdef)
+	w.PutI16(-42)
+	w.PutI32(-100000)
+	w.PutBool(true)
+	w.PutString("hello")
+	w.PutBytes([]byte{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	if r.U8() != 0xab || r.U16() != 0x1234 || r.U32() != 0xdeadbeef ||
+		r.U64() != 0x0123456789abcdef || r.I16() != -42 || r.I32() != -100000 ||
+		!r.Bool() || r.String() != "hello" {
+		t.Fatal("primitive round trip failed")
+	}
+	if !bytes.Equal(r.ByteSlice(), []byte{1, 2, 3}) {
+		t.Fatal("bytes round trip failed")
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+}
+
+func TestReaderShortMessage(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U32()
+	if r.Err() == nil {
+		t.Fatal("short read should set error")
+	}
+	// Further reads return zero without panicking.
+	if r.U8() != 0 || r.String() != "" {
+		t.Fatal("reads after error should be zero")
+	}
+}
+
+func TestFraming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequestFrame(&buf, OpMapWindow, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err := ReadRequestFrame(&buf)
+	if err != nil || op != OpMapWindow || string(payload) != "payload" {
+		t.Fatalf("request frame: %d %q %v", op, payload, err)
+	}
+	buf.Reset()
+	if err := WriteServerFrame(&buf, KindEvent, []byte("ev")); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := ReadServerFrame(&buf)
+	if err != nil || kind != KindEvent || string(payload) != "ev" {
+		t.Fatalf("server frame: %d %q %v", kind, payload, err)
+	}
+}
+
+// TestEventRoundTrip property: any event encodes and decodes identically.
+func TestEventRoundTrip(t *testing.T) {
+	f := func(typ uint8, win, sub uint32, detail uint32, x, y int16,
+		state uint16, tme uint32, wd, ht uint16, atom uint32, data string) bool {
+		ev := Event{
+			Type: typ, Window: ID(win), Subwindow: ID(sub), Detail: detail,
+			Keysym: Keysym(detail), X: x, Y: y, RootX: x + 1, RootY: y + 1,
+			State: state, Time: tme, Width: wd, Height: ht,
+			Atom: Atom(atom), Selection: Atom(atom + 1), Target: Atom(atom + 2),
+			Property: Atom(atom + 3), Requestor: ID(win + 1),
+			Count: 2, BorderWidth: 3, PropState: 1, SendEvent: true, Data: data,
+		}
+		w := NewWriter()
+		ev.Encode(w)
+		var got Event
+		got.Decode(NewReader(w.Bytes()))
+		return reflect.DeepEqual(ev, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequestRoundTrips checks that every request type decodes to an
+// identical value after encoding.
+func TestRequestRoundTrips(t *testing.T) {
+	reqs := []Request{
+		&CreateWindowReq{Wid: 5, Parent: 1, X: -3, Y: 7, Width: 100, Height: 50,
+			BorderWidth: 2, Background: 0xffffff, Border: 0x123456,
+			EventMask: ExposureMask, OverrideRedirect: true},
+		&ChangeWindowAttributesReq{Window: 9, Mask: AttrEventMask | AttrCursor,
+			EventMask: KeyPressMask, Cursor: 77},
+		&DestroyWindowReq{Window: 4},
+		&MapWindowReq{Window: 4},
+		&UnmapWindowReq{Window: 4},
+		&ConfigureWindowReq{Window: 4, Mask: CWX | CWWidth, X: 10, Width: 20, StackMode: StackBelow},
+		&GetGeometryReq{Drawable: 8},
+		&QueryTreeReq{Window: 1},
+		&InternAtomReq{Name: "FOO", OnlyIfExists: true},
+		&GetAtomNameReq{Atom: 42},
+		&ChangePropertyReq{Window: 2, Property: 3, Type: AtomString, Mode: PropModeAppend, Data: []byte("hi")},
+		&DeletePropertyReq{Window: 2, Property: 3},
+		&GetPropertyReq{Window: 2, Property: 3, Delete: true},
+		&ListPropertiesReq{Window: 2},
+		&SetSelectionOwnerReq{Selection: AtomPrimary, Owner: 6, Time: 99},
+		&GetSelectionOwnerReq{Selection: AtomPrimary},
+		&ConvertSelectionReq{Selection: 1, Target: 3, Property: 9, Requestor: 4, Time: 2},
+		&SendEventReq{Destination: 7, EventMask: 0, Event: Event{Type: ClientMessage, Data: "x"}},
+		&QueryPointerReq{},
+		&SetInputFocusReq{Focus: 3},
+		&GetInputFocusReq{},
+		&OpenFontReq{Fid: 11, Name: "fixed"},
+		&CloseFontReq{Fid: 11},
+		&QueryFontReq{Fid: 11},
+		&CreatePixmapReq{Pid: 12, Width: 64, Height: 32},
+		&FreePixmapReq{Pid: 12},
+		&CreateGCReq{Gid: 13, Mask: GCForeground, Foreground: 0xff0000},
+		&ChangeGCReq{Gid: 13, Mask: GCFont, Font: 11},
+		&FreeGCReq{Gid: 13},
+		&ClearAreaReq{Window: 2, X: 1, Y: 2, Width: 3, Height: 4},
+		&CopyAreaReq{Src: 1, Dst: 2, Gc: 3, SrcX: 4, SrcY: 5, DstX: 6, DstY: 7, Width: 8, Height: 9},
+		&PolyLineReq{Drawable: 1, Gc: 2, Points: []Point{{1, 2}, {3, 4}}},
+		&PolySegmentReq{Drawable: 1, Gc: 2, Points: []Point{{1, 2}, {3, 4}}},
+		&PolyRectangleReq{Drawable: 1, Gc: 2, Rects: []Rect{{1, 2, 3, 4}}},
+		&FillPolyReq{Drawable: 1, Gc: 2, Points: []Point{{0, 0}, {5, 0}, {0, 5}}},
+		&PolyFillRectangleReq{Drawable: 1, Gc: 2, Rects: []Rect{{1, 2, 3, 4}, {5, 6, 7, 8}}},
+		&PolyText8Req{Drawable: 1, Gc: 2, X: 3, Y: 4, Text: "hello"},
+		&ImageText8Req{Drawable: 1, Gc: 2, X: 3, Y: 4, Text: "hello"},
+		&AllocColorReq{R: 1, G: 2, B: 3},
+		&AllocNamedColorReq{Name: "red"},
+		&CreateCursorReq{Cid: 14, Shape: "coffee_mug"},
+		&BellReq{},
+		&FakeInputReq{Kind: FakeKeyPress, Detail: 0xff1b},
+		&ScreenshotReq{Window: 1},
+		&PingReq{},
+		&SetLatencyReq{Micros: 500},
+		&QueryCountersReq{},
+	}
+	for _, req := range reqs {
+		w := NewWriter()
+		req.Encode(w)
+		fresh := NewRequest(req.Op())
+		if fresh == nil {
+			t.Fatalf("NewRequest(%d) returned nil", req.Op())
+		}
+		r := NewReader(w.Bytes())
+		fresh.Decode(r)
+		if r.Err() != nil {
+			t.Fatalf("%T decode error: %v", req, r.Err())
+		}
+		if !reflect.DeepEqual(req, fresh) {
+			t.Fatalf("%T round trip: %#v != %#v", req, req, fresh)
+		}
+	}
+}
+
+func TestHasReplyMatchesRegistry(t *testing.T) {
+	// Every opcode with a reply must have a NewRequest factory.
+	for op := uint16(1); op < 210; op++ {
+		if HasReply(op) && NewRequest(op) == nil {
+			t.Errorf("opcode %d has a reply but no request factory", op)
+		}
+	}
+}
+
+func TestKeysyms(t *testing.T) {
+	cases := []struct {
+		name string
+		ks   Keysym
+	}{
+		{"a", 'a'}, {"Z", 'Z'}, {"space", KsSpace}, {"Escape", KsEscape},
+		{"Return", KsReturn}, {"BackSpace", KsBackSpace}, {"Control_L", KsControlL},
+	}
+	for _, c := range cases {
+		ks, ok := KeysymFromName(c.name)
+		if !ok || ks != c.ks {
+			t.Errorf("KeysymFromName(%q) = %v %v", c.name, ks, ok)
+		}
+	}
+	if _, ok := KeysymFromName("NotAKey"); ok {
+		t.Error("bogus keysym resolved")
+	}
+	if KeysymName(KsEscape) != "Escape" || KeysymName('q') != "q" || KeysymName(KsSpace) != "space" {
+		t.Error("KeysymName round trip")
+	}
+	// Modifier classification.
+	if !IsModifierKeysym(KsShiftL) || IsModifierKeysym('a') {
+		t.Error("IsModifierKeysym")
+	}
+	if KeysymModifier(KsControlR) != ControlMask || KeysymModifier('x') != 0 {
+		t.Error("KeysymModifier")
+	}
+}
+
+func TestKeysymRune(t *testing.T) {
+	if KeysymRune('a', 0) != "a" {
+		t.Error("plain letter")
+	}
+	if KeysymRune('a', ShiftMask) != "A" {
+		t.Error("shifted letter")
+	}
+	if KeysymRune('1', ShiftMask) != "!" {
+		t.Error("shifted digit")
+	}
+	if KeysymRune(KsReturn, 0) != "\n" {
+		t.Error("return")
+	}
+	if KeysymRune(KsEscape, 0) != "" {
+		t.Error("escape should have no text")
+	}
+}
+
+func TestEventMasks(t *testing.T) {
+	if EventMaskFor(KeyPress) != KeyPressMask {
+		t.Error("KeyPress mask")
+	}
+	if EventMaskFor(Expose) != ExposureMask {
+		t.Error("Expose mask")
+	}
+	if EventMaskFor(SelectionNotify) != 0 {
+		t.Error("selection events are unconditional")
+	}
+	if ButtonMask(1) != Button1Mask || ButtonMask(5) != Button5Mask || ButtonMask(9) != 0 {
+		t.Error("ButtonMask")
+	}
+}

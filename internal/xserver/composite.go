@@ -1,0 +1,87 @@
+package xserver
+
+import (
+	"repro/internal/xproto"
+)
+
+// Title-bar geometry for the server's trivial built-in window manager
+// decoration, standing in for twm in the paper's Figure 10.
+const (
+	titleBarHeight = 18
+	titleBarColor  = 0x6a5acd
+	titleTextColor = 0xffffff
+	frameColor     = 0x000000
+)
+
+// composite recursively paints w and its mapped descendants into dst with
+// w's content origin at (ox, oy).
+func (s *Server) composite(dst *image, w *window, ox, oy int) {
+	// Border.
+	if w.borderWidth > 0 {
+		bw := w.borderWidth
+		dst.fillRect(ox-bw, oy-bw, w.w+2*bw, bw, w.border)
+		dst.fillRect(ox-bw, oy+w.h, w.w+2*bw, bw, w.border)
+		dst.fillRect(ox-bw, oy, bw, w.h, w.border)
+		dst.fillRect(ox+w.w, oy, bw, w.h, w.border)
+	}
+	// Content.
+	dst.copyFrom(w.img, 0, 0, ox, oy, w.w, w.h)
+	// Children bottom-to-top.
+	for _, ch := range w.children {
+		if !ch.mapped {
+			continue
+		}
+		s.composite(dst, ch, ox+ch.x+ch.borderWidth, oy+ch.y+ch.borderWidth)
+	}
+	// Window-manager decoration for top-level windows: a title bar above
+	// the window showing WM_NAME, like twm in Figure 10 of the paper.
+	if w.parent == s.root && !w.override {
+		title := ""
+		if p, ok := w.props[xproto.AtomWMName]; ok {
+			title = string(p.data)
+		}
+		bw := w.borderWidth
+		dst.fillRect(ox-bw, oy-bw-titleBarHeight, w.w+2*bw, titleBarHeight, titleBarColor)
+		dst.drawRect(ox-bw, oy-bw-titleBarHeight, w.w+2*bw, titleBarHeight, 1, frameColor)
+		f := openFont("fixed")
+		f.drawString(dst, ox+4, oy-bw-titleBarHeight+13, title, titleTextColor)
+	}
+}
+
+// handleScreenshot renders the composited screen (or one window's
+// subtree) and replies with packed RGB pixels.
+func (s *Server) handleScreenshot(c *conn, q *xproto.ScreenshotReq) {
+	var shot *image
+	if q.Window == xproto.None || q.Window == s.Root() {
+		shot = newImage(s.width, s.height)
+		shot.fillRect(0, 0, s.width, s.height, s.root.background)
+		shot.copyFrom(s.root.img, 0, 0, 0, 0, s.width, s.height)
+		for _, ch := range s.root.children {
+			if ch.mapped {
+				s.composite(shot, ch, ch.x+ch.borderWidth, ch.y+ch.borderWidth)
+			}
+		}
+	} else {
+		w := s.windows[q.Window]
+		if w == nil {
+			c.protoError("Screenshot: bad window %d", q.Window)
+			return
+		}
+		bw := w.borderWidth
+		shot = newImage(w.w+2*bw, w.h+2*bw+decorationHeight(s, w))
+		s.composite(shot, w, bw, bw+decorationHeight(s, w))
+	}
+	pixels := make([]byte, 0, shot.w*shot.h*3)
+	for _, px := range shot.pix {
+		pixels = append(pixels, byte(px>>16), byte(px>>8), byte(px))
+	}
+	rep := &xproto.ScreenshotReply{Width: uint16(shot.w), Height: uint16(shot.h), Pixels: pixels}
+	c.reply(func(w *xproto.Writer) { rep.Encode(w) })
+}
+
+func decorationHeight(s *Server, w *window) int {
+	if w.parent == s.root && !w.override {
+		return titleBarHeight
+	}
+	return 0
+}

@@ -1,0 +1,177 @@
+package xserver
+
+import "repro/internal/xproto"
+
+// image is a server-side pixel buffer: the backing store of a window or
+// pixmap. Pixels are packed 0x00RRGGBB.
+type image struct {
+	w, h int
+	pix  []uint32
+}
+
+func newImage(w, h int) *image {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return &image{w: w, h: h, pix: make([]uint32, w*h)}
+}
+
+// resize reallocates the buffer preserving the overlapping region.
+func (im *image) resize(w, h int) {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	if w == im.w && h == im.h {
+		return
+	}
+	np := make([]uint32, w*h)
+	for y := 0; y < h && y < im.h; y++ {
+		copy(np[y*w:y*w+min(w, im.w)], im.pix[y*im.w:y*im.w+min(w, im.w)])
+	}
+	im.w, im.h = w, h
+	im.pix = np
+}
+
+func (im *image) set(x, y int, pixel uint32) {
+	if x < 0 || y < 0 || x >= im.w || y >= im.h {
+		return
+	}
+	im.pix[y*im.w+x] = pixel
+}
+
+func (im *image) get(x, y int) uint32 {
+	if x < 0 || y < 0 || x >= im.w || y >= im.h {
+		return 0
+	}
+	return im.pix[y*im.w+x]
+}
+
+// fillRect fills a clipped rectangle.
+func (im *image) fillRect(x, y, w, h int, pixel uint32) {
+	x0, y0 := max(x, 0), max(y, 0)
+	x1, y1 := min(x+w, im.w), min(y+h, im.h)
+	for yy := y0; yy < y1; yy++ {
+		row := im.pix[yy*im.w : yy*im.w+im.w]
+		for xx := x0; xx < x1; xx++ {
+			row[xx] = pixel
+		}
+	}
+}
+
+// drawRect outlines a rectangle with the given line width.
+func (im *image) drawRect(x, y, w, h, lw int, pixel uint32) {
+	if lw < 1 {
+		lw = 1
+	}
+	im.fillRect(x, y, w, lw, pixel)      // top
+	im.fillRect(x, y+h-lw, w, lw, pixel) // bottom
+	im.fillRect(x, y, lw, h, pixel)      // left
+	im.fillRect(x+w-lw, y, lw, h, pixel) // right
+}
+
+// drawLine draws a 1-pixel Bresenham line, thickened for lw > 1.
+func (im *image) drawLine(x0, y0, x1, y1, lw int, pixel uint32) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if lw <= 1 {
+			im.set(x0, y0, pixel)
+		} else {
+			r := lw / 2
+			im.fillRect(x0-r, y0-r, lw, lw, pixel)
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// fillPoly fills a polygon with the even-odd rule using a scanline
+// algorithm.
+func (im *image) fillPoly(pts []xproto.Point, pixel uint32) {
+	if len(pts) < 3 {
+		return
+	}
+	minY, maxY := int(pts[0].Y), int(pts[0].Y)
+	for _, p := range pts {
+		minY = min(minY, int(p.Y))
+		maxY = max(maxY, int(p.Y))
+	}
+	minY = max(minY, 0)
+	maxY = min(maxY, im.h-1)
+	for y := minY; y <= maxY; y++ {
+		var xs []int
+		n := len(pts)
+		for i := 0; i < n; i++ {
+			a, b := pts[i], pts[(i+1)%n]
+			ay, by := int(a.Y), int(b.Y)
+			if ay == by {
+				continue
+			}
+			if (y >= ay && y < by) || (y >= by && y < ay) {
+				t := float64(y-ay) / float64(by-ay)
+				xs = append(xs, int(a.X)+int(t*float64(int(b.X)-int(a.X))))
+			}
+		}
+		// Insertion-sort the few crossings.
+		for i := 1; i < len(xs); i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+		for i := 0; i+1 < len(xs); i += 2 {
+			im.fillRect(xs[i], y, xs[i+1]-xs[i]+1, 1, pixel)
+		}
+	}
+}
+
+// copyFrom copies a rectangle from src.
+func (im *image) copyFrom(src *image, sx, sy, dx, dy, w, h int) {
+	// Copy via an intermediate when src == dst and regions may overlap.
+	if src == im {
+		tmp := newImage(w, h)
+		tmp.copyFrom(&image{w: src.w, h: src.h, pix: append([]uint32(nil), src.pix...)}, sx, sy, 0, 0, w, h)
+		src = tmp
+		sx, sy = 0, 0
+	}
+	for yy := 0; yy < h; yy++ {
+		for xx := 0; xx < w; xx++ {
+			px, py := sx+xx, sy+yy
+			if px < 0 || py < 0 || px >= src.w || py >= src.h {
+				continue
+			}
+			im.set(dx+xx, dy+yy, src.pix[py*src.w+px])
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,394 @@
+// Package xserver implements a simulated X11 display server. It stands in
+// for the real X server the paper ran against (X11R4 on a DECstation
+// 3100): clients connect over any net.Conn (in-process pipes or TCP
+// between separate OS processes), speak the request/reply/event protocol
+// defined in internal/xproto, and the server maintains the window tree,
+// properties, atoms, selections, input focus, pointer state, and actual
+// pixel contents — so screenshots like the paper's Figure 10 can be
+// regenerated, and protocol traffic (the thing Tk's resource caches
+// exist to reduce, §3.3) can be counted and measured.
+package xserver
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/xproto"
+)
+
+// Server is a simulated X display.
+type Server struct {
+	mu sync.Mutex
+
+	width, height int
+	root          *window
+	windows       map[xproto.ID]*window
+	pixmaps       map[xproto.ID]*image
+	gcs           map[xproto.ID]*gcontext
+	fonts         map[xproto.ID]*font
+	cursors       map[xproto.ID]string
+
+	atoms     map[string]xproto.Atom
+	atomNames map[xproto.Atom]string
+	nextAtom  xproto.Atom
+
+	selections map[xproto.Atom]*selection
+
+	focus xproto.ID
+
+	pointerX, pointerY int
+	buttons            uint16
+	modifiers          uint16
+	pointerWin         *window
+	grabWin            *window
+
+	nextIDBase uint32
+	latency    atomic.Int64 // nanoseconds per request
+	start      time.Time
+
+	conns    map[*conn]bool
+	listener net.Listener
+	closed   bool
+
+	// TotalRequests counts requests across all connections (read with
+	// Stats).
+	totalRequests atomic.Uint64
+}
+
+// gcontext is a server-side graphics context.
+type gcontext struct {
+	foreground uint32
+	background uint32
+	lineWidth  int
+	font       xproto.ID
+	owner      *conn
+}
+
+// property is a window property value.
+type property struct {
+	typ  xproto.Atom
+	data []byte
+}
+
+// selection tracks ICCCM selection ownership.
+type selection struct {
+	owner *window
+	time  uint32
+}
+
+// window is a server-side window.
+type window struct {
+	id          xproto.ID
+	parent      *window
+	children    []*window // bottom-to-top stacking order
+	x, y        int
+	w, h        int
+	borderWidth int
+	background  uint32
+	border      uint32
+	override    bool
+	mapped      bool
+	img         *image
+	masks       map[*conn]uint32
+	props       map[xproto.Atom]property
+	owner       *conn
+	cursor      string
+}
+
+// conn is one client connection.
+type conn struct {
+	s       *Server
+	rw      net.Conn
+	out     chan []byte
+	done    chan struct{}
+	seq     uint64
+	reqs    uint64
+	rtts    uint64
+	events  uint64
+	dropped uint64
+	once    sync.Once
+}
+
+// New creates a server with the given screen size.
+func New(width, height int) *Server {
+	s := &Server{
+		width:      width,
+		height:     height,
+		windows:    make(map[xproto.ID]*window),
+		pixmaps:    make(map[xproto.ID]*image),
+		gcs:        make(map[xproto.ID]*gcontext),
+		fonts:      make(map[xproto.ID]*font),
+		cursors:    make(map[xproto.ID]string),
+		atoms:      make(map[string]xproto.Atom),
+		atomNames:  make(map[xproto.Atom]string),
+		selections: make(map[xproto.Atom]*selection),
+		conns:      make(map[*conn]bool),
+		start:      time.Now(),
+		nextIDBase: 0x00200000,
+		nextAtom:   100,
+	}
+	for a, name := range xproto.PredefinedAtoms {
+		s.atoms[name] = a
+		s.atomNames[a] = name
+	}
+	s.root = &window{
+		id:         1,
+		w:          width,
+		h:          height,
+		background: 0x5f9ea0, // the classic root-weave stand-in
+		mapped:     true,
+		img:        newImage(width, height),
+		masks:      make(map[*conn]uint32),
+		props:      make(map[xproto.Atom]property),
+	}
+	s.root.img.fillRect(0, 0, width, height, s.root.background)
+	s.windows[1] = s.root
+	s.pointerWin = s.root
+	s.pointerX, s.pointerY = width/2, height/2
+	return s
+}
+
+// Root returns the root window ID.
+func (s *Server) Root() xproto.ID { return 1 }
+
+// SetLatency sets the simulated IPC latency applied to every request.
+func (s *Server) SetLatency(d time.Duration) { s.latency.Store(int64(d)) }
+
+// Stats reports aggregate request count across all connections.
+func (s *Server) Stats() (requests uint64) { return s.totalRequests.Load() }
+
+// now returns the server timestamp in milliseconds.
+func (s *Server) now() uint32 {
+	return uint32(time.Since(s.start) / time.Millisecond)
+}
+
+// Serve accepts connections on l until the listener is closed.
+func (s *Server) Serve(l net.Listener) {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go s.ServeConn(nc)
+	}
+}
+
+// Listen starts serving on a TCP address and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go s.Serve(l)
+	return l.Addr().String(), nil
+}
+
+// ConnectPipe creates an in-process connection to the server and returns
+// the client end.
+func (s *Server) ConnectPipe() net.Conn {
+	client, server := net.Pipe()
+	go s.ServeConn(server)
+	return client
+}
+
+// Close shuts the server down, closing all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.close()
+	}
+}
+
+// ServeConn runs the protocol on one established connection, blocking
+// until it closes.
+func (s *Server) ServeConn(nc net.Conn) {
+	c := &conn{
+		s:    s,
+		rw:   nc,
+		out:  make(chan []byte, 4096),
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = true
+	base := s.nextIDBase
+	s.nextIDBase += 0x00200000
+	s.mu.Unlock()
+
+	// Writer goroutine.
+	go func() {
+		for {
+			select {
+			case buf, ok := <-c.out:
+				if !ok {
+					return
+				}
+				if _, err := nc.Write(buf); err != nil {
+					c.close()
+					return
+				}
+			case <-c.done:
+				return
+			}
+		}
+	}()
+
+	// Connection setup block.
+	setup := &xproto.SetupReply{
+		ResourceIDBase: base,
+		Root:           s.Root(),
+		Width:          uint16(s.width),
+		Height:         uint16(s.height),
+	}
+	w := xproto.NewWriter()
+	setup.Encode(w)
+	c.enqueueFrame(xproto.KindReply, w.Bytes(), true)
+
+	// Request loop.
+	for {
+		op, payload, err := xproto.ReadRequestFrame(nc)
+		if err != nil {
+			break
+		}
+		if lat := s.latency.Load(); lat > 0 {
+			time.Sleep(time.Duration(lat))
+		}
+		c.seq++
+		c.reqs++
+		s.totalRequests.Add(1)
+		s.dispatch(c, op, payload)
+	}
+	c.close()
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.cleanupConn(c)
+	s.mu.Unlock()
+}
+
+func (c *conn) close() {
+	c.once.Do(func() {
+		close(c.done)
+		c.rw.Close()
+	})
+}
+
+// enqueueFrame frames and queues a server-to-client message. Replies and
+// errors must not be dropped; events may be dropped under extreme
+// backpressure rather than deadlocking the server.
+func (c *conn) enqueueFrame(kind byte, payload []byte, mustDeliver bool) {
+	buf := make([]byte, 0, 5+len(payload))
+	buf = append(buf, kind)
+	buf = append(buf, byte(len(payload)>>24), byte(len(payload)>>16), byte(len(payload)>>8), byte(len(payload)))
+	buf = append(buf, payload...)
+	if mustDeliver {
+		select {
+		case c.out <- buf:
+		case <-c.done:
+		}
+		return
+	}
+	select {
+	case c.out <- buf:
+	case <-c.done:
+	default:
+		c.dropped++
+	}
+}
+
+// reply sends a reply for the current request.
+func (c *conn) reply(encode func(w *xproto.Writer)) {
+	c.rtts++
+	w := xproto.NewWriter()
+	w.PutU64(c.seq)
+	encode(w)
+	c.enqueueFrame(xproto.KindReply, w.Bytes(), true)
+}
+
+// protoError sends an error message for the current request.
+func (c *conn) protoError(format string, args ...any) {
+	w := xproto.NewWriter()
+	w.PutU64(c.seq)
+	w.PutString(fmt.Sprintf(format, args...))
+	c.enqueueFrame(xproto.KindError, w.Bytes(), true)
+}
+
+// sendEvent delivers an event to this connection.
+func (c *conn) sendEvent(ev *xproto.Event) {
+	c.events++
+	w := xproto.NewWriter()
+	ev.Encode(w)
+	c.enqueueFrame(xproto.KindEvent, w.Bytes(), false)
+}
+
+// dispatch decodes and executes one request under the server lock.
+func (s *Server) dispatch(c *conn, op uint16, payload []byte) {
+	req := xproto.NewRequest(op)
+	if req == nil {
+		c.protoError("bad request opcode %d", op)
+		return
+	}
+	r := xproto.NewReader(payload)
+	req.Decode(r)
+	if r.Err() != nil {
+		c.protoError("malformed request %d: %v", op, r.Err())
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handle(c, req)
+}
+
+// cleanupConn releases all resources owned by a departed client: its
+// windows are destroyed (as X does), its GCs, fonts and pixmaps freed,
+// its event-mask entries removed, and its selections cleared.
+func (s *Server) cleanupConn(c *conn) {
+	// Destroy windows owned by the connection, top-level first.
+	var owned []*window
+	for _, w := range s.windows {
+		if w.owner == c && w.parent == s.root {
+			owned = append(owned, w)
+		}
+	}
+	for _, w := range owned {
+		s.destroyWindow(w)
+	}
+	// Any remaining windows deeper in other clients' trees.
+	for _, w := range s.windows {
+		if w.owner == c && w != s.root {
+			s.destroyWindow(w)
+		}
+	}
+	for id, gc := range s.gcs {
+		if gc.owner == c {
+			delete(s.gcs, id)
+		}
+	}
+	for _, w := range s.windows {
+		delete(w.masks, c)
+	}
+	for sel, o := range s.selections {
+		if o.owner != nil && o.owner.owner == c {
+			delete(s.selections, sel)
+		}
+	}
+}
