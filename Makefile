@@ -1,0 +1,25 @@
+# Pre-PR gate: build, vet, race-gated tests, then tkcheck over every
+# Tcl script in the tree (docs/static-analysis.md). All four legs must
+# pass before a change ships.
+
+GO ?= go
+
+.PHONY: check build vet test tkcheck bench
+
+check: build vet test tkcheck
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+tkcheck:
+	$(GO) run ./cmd/tkcheck ./examples/... ./cmd/... ./internal/...
+	$(GO) run ./cmd/tkcheck -tests ./cmd/wish
+
+bench:
+	$(GO) test -bench=. -benchmem

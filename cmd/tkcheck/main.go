@@ -1,0 +1,65 @@
+// Command tkcheck is the project's static-analysis tool (see
+// docs/static-analysis.md). It lints Tcl scripts — .tcl files and the
+// script literals Go sources pass to Eval/MustEval — against the live
+// command registry without evaluating them, recursing into deferred
+// scripts (bind bodies, -command options, after and send arguments),
+// and runs two Go analyzers: lock discipline for "guarded by mu"
+// fields, and xproto opcode completeness.
+//
+// Usage:
+//
+//	tkcheck [-tests] [-known name,...] target ...
+//
+// Targets are .tcl files, .go files, directories, or dir/... patterns.
+// Exits 1 when any diagnostic is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("tkcheck", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	tests := fs.Bool("tests", false, "also lint script literals in _test.go files")
+	known := fs.String("known", "", "comma-separated extra command names to treat as known")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(errOut, "usage: tkcheck [-tests] [-known name,...] target ...")
+		return 2
+	}
+	r := lint.NewRunner()
+	r.IncludeTests = *tests
+	for _, name := range strings.Split(*known, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			r.Reg.AddKnown(name)
+		}
+	}
+	for _, target := range fs.Args() {
+		if err := r.Check(target); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 2
+		}
+	}
+	diags := r.Finish()
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "tkcheck: %d problem(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

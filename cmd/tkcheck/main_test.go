@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fixture paths are relative to this package directory.
+const fixtures = "../../internal/lint/testdata"
+
+func runCheck(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestExitNonZeroOnBadFixtures(t *testing.T) {
+	cases := []struct {
+		target string
+		want   string // a substring of the expected diagnostic
+	}{
+		{fixtures + "/unknown.tcl", `unknown.tcl:3:1: unknown command "frobnicate"`},
+		{fixtures + "/arity.tcl", `arity.tcl:2:1: wrong # args for "set"`},
+		{fixtures + "/brace.tcl", `brace.tcl:2:19: missing close-brace`},
+		{fixtures + "/deferred.tcl", `deferred.tcl:4:18: unknown command "hilight"`},
+		{fixtures + "/expr.tcl", `expr.tcl:3:10: expression syntax error`},
+		{fixtures + "/path.tcl", `path.tcl:2:8: bad window path name ".a..b"`},
+		{fixtures + "/locks", `locks.go:23:11: counter.count (guarded by mu) accessed without holding mu`},
+		{fixtures + "/opcodes", `opcodes.go:8:2: opcode OpOrphan has no case in the NewRequest factory`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.target, func(t *testing.T) {
+			code, out, _ := runCheck(t, tc.target)
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("output missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+func TestExitZeroOnRepoScripts(t *testing.T) {
+	code, out, errOut := runCheck(t, "../../examples/...")
+	if code != 0 {
+		t.Fatalf("examples: exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	code, out, errOut = runCheck(t, "-tests", "../../cmd/wish")
+	if code != 0 {
+		t.Fatalf("cmd/wish -tests: exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+}
+
+func TestKnownFlag(t *testing.T) {
+	code, _, _ := runCheck(t, fixtures+"/unknown.tcl")
+	if code != 1 {
+		t.Fatalf("without -known: exit = %d, want 1", code)
+	}
+	code, out, _ := runCheck(t, "-known", "frobnicate", fixtures+"/unknown.tcl")
+	if code != 0 {
+		t.Fatalf("with -known: exit = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCheck(t); code != 2 {
+		t.Error("no targets should exit 2")
+	}
+	if code, _, _ := runCheck(t, "no/such/file.tcl"); code != 2 {
+		t.Error("missing target should exit 2")
+	}
+	if code, _, _ := runCheck(t, "-bogusflag"); code != 2 {
+		t.Error("bad flag should exit 2")
+	}
+}

@@ -1,0 +1,281 @@
+package lint
+
+import "fmt"
+
+// Expression syntax checking: a recursive-descent walk over the same
+// grammar internal/tcl's expr evaluator implements (ternary ?:, the C
+// binary-operator precedence ladder, unary - + ! ~, and the operands:
+// numbers, $var, [cmd], "str", {braced}, parentheses and math function
+// calls). Nothing is evaluated; [cmd] operands are linted as scripts.
+
+// binaryOps lists operators by precedence level, lowest first,
+// two-character operators before their one-character prefixes.
+var binaryOps = [][]string{
+	{"||"}, {"&&"}, {"|"}, {"^"}, {"&"},
+	{"==", "!="},
+	{"<=", ">=", "<", ">"},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+// knownMathFuncs mirrors the evaluator's function table.
+var knownMathFuncs = map[string]bool{
+	"abs": true, "acos": true, "asin": true, "atan": true, "atan2": true,
+	"ceil": true, "cos": true, "cosh": true, "double": true, "exp": true,
+	"floor": true, "fmod": true, "hypot": true, "int": true, "log": true,
+	"log10": true, "pow": true, "round": true, "sin": true, "sinh": true,
+	"sqrt": true, "tan": true, "tanh": true,
+}
+
+type exprChecker struct {
+	l   *linter
+	pos int
+	end int
+	bad bool // one error per expression is enough
+}
+
+// checkExprRange syntax-checks src[start:end) as an expression.
+func (l *linter) checkExprRange(start, end int) {
+	e := &exprChecker{l: l, pos: start, end: end}
+	e.ternary()
+	e.space()
+	if !e.bad && e.pos < e.end {
+		e.errf(e.pos, "unexpected %q after expression", rest(l.src, e.pos))
+	}
+}
+
+func rest(src string, pos int) string {
+	r := src[pos:]
+	if len(r) > 12 {
+		r = r[:12] + "..."
+	}
+	return r
+}
+
+func (e *exprChecker) errf(off int, format string, args ...interface{}) {
+	if e.bad {
+		return
+	}
+	e.bad = true
+	e.l.diagAt(off, "expr", "expression syntax error: "+fmt.Sprintf(format, args...))
+}
+
+func (e *exprChecker) space() {
+	src := e.l.src
+	for e.pos < e.end {
+		c := src[e.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			e.pos++
+		} else if c == '\\' && e.pos+1 < e.end && src[e.pos+1] == '\n' {
+			e.pos += 2
+		} else {
+			break
+		}
+	}
+}
+
+func (e *exprChecker) ternary() {
+	e.binary(0)
+	e.space()
+	if e.bad || e.pos >= e.end || e.l.src[e.pos] != '?' {
+		return
+	}
+	e.pos++
+	e.ternary()
+	e.space()
+	if e.pos >= e.end || e.l.src[e.pos] != ':' {
+		e.errf(e.pos, "missing : in ?: operator")
+		return
+	}
+	e.pos++
+	e.ternary()
+}
+
+func (e *exprChecker) binary(level int) {
+	if level >= len(binaryOps) {
+		e.unary()
+		return
+	}
+	e.binary(level + 1)
+	for !e.bad {
+		e.space()
+		op := e.peekOp(level)
+		if op == "" {
+			return
+		}
+		e.pos += len(op)
+		e.binary(level + 1)
+	}
+}
+
+// peekOp returns the operator at the cursor if it belongs to this
+// precedence level, taking care not to split two-character operators
+// ("<" must not match the front of "<<" or "<=").
+func (e *exprChecker) peekOp(level int) string {
+	src := e.l.src
+	if e.pos >= e.end {
+		return ""
+	}
+	two := ""
+	if e.pos+2 <= e.end {
+		two = src[e.pos : e.pos+2]
+	}
+	switch two {
+	case "||", "&&", "==", "!=", "<=", ">=", "<<", ">>":
+		for _, op := range binaryOps[level] {
+			if op == two {
+				return op
+			}
+		}
+		return ""
+	}
+	one := src[e.pos : e.pos+1]
+	for _, op := range binaryOps[level] {
+		if op == one {
+			return op
+		}
+	}
+	return ""
+}
+
+func (e *exprChecker) unary() {
+	e.space()
+	if e.pos < e.end {
+		switch e.l.src[e.pos] {
+		case '!', '~':
+			e.pos++
+			e.unary()
+			return
+		case '-', '+':
+			e.pos++
+			e.unary()
+			return
+		}
+	}
+	e.primary()
+}
+
+func (e *exprChecker) primary() {
+	e.space()
+	src := e.l.src
+	if e.pos >= e.end {
+		e.errf(e.pos, "missing operand")
+		return
+	}
+	c := src[e.pos]
+	switch {
+	case c == '(':
+		e.pos++
+		e.ternary()
+		e.space()
+		if e.pos >= e.end || src[e.pos] != ')' {
+			e.errf(e.pos, "missing )")
+			return
+		}
+		e.pos++
+	case c == '$':
+		sc := &scanner{l: e.l, pos: e.pos, end: e.end}
+		sc.scanVarRef()
+		e.pos = sc.pos
+	case c == '[':
+		sc := &scanner{l: e.l, pos: e.pos, end: e.end}
+		if r, ok := sc.scanBracket(); ok {
+			e.l.lintRange(r[0], r[1], modeScript)
+		}
+		e.pos = sc.pos
+	case c == '"':
+		sc := &scanner{l: e.l, pos: e.pos, end: e.end}
+		w := sc.scanQuoted()
+		for _, r := range w.brackets {
+			e.l.lintRange(r[0], r[1], modeScript)
+		}
+		e.pos = sc.pos
+	case c == '{':
+		sc := &scanner{l: e.l, pos: e.pos, end: e.end}
+		sc.skipBraces()
+		e.pos = sc.pos
+	case c >= '0' && c <= '9' || c == '.' && e.pos+1 < e.end && src[e.pos+1] >= '0' && src[e.pos+1] <= '9':
+		e.number()
+	case isAlpha(c):
+		e.funcCall()
+	default:
+		e.errf(e.pos, "unexpected character %q", string(c))
+	}
+}
+
+func (e *exprChecker) number() {
+	src := e.l.src
+	if src[e.pos] == '0' && e.pos+1 < e.end && (src[e.pos+1] == 'x' || src[e.pos+1] == 'X') {
+		e.pos += 2
+		start := e.pos
+		for e.pos < e.end && isHex(src[e.pos]) {
+			e.pos++
+		}
+		if e.pos == start {
+			e.errf(e.pos, "malformed hexadecimal number")
+		}
+		return
+	}
+	for e.pos < e.end && src[e.pos] >= '0' && src[e.pos] <= '9' {
+		e.pos++
+	}
+	if e.pos < e.end && src[e.pos] == '.' {
+		e.pos++
+		for e.pos < e.end && src[e.pos] >= '0' && src[e.pos] <= '9' {
+			e.pos++
+		}
+	}
+	if e.pos < e.end && (src[e.pos] == 'e' || src[e.pos] == 'E') {
+		mark := e.pos
+		e.pos++
+		if e.pos < e.end && (src[e.pos] == '+' || src[e.pos] == '-') {
+			e.pos++
+		}
+		start := e.pos
+		for e.pos < e.end && src[e.pos] >= '0' && src[e.pos] <= '9' {
+			e.pos++
+		}
+		if e.pos == start {
+			e.pos = mark // not an exponent; leave for the caller to reject
+		}
+	}
+}
+
+func (e *exprChecker) funcCall() {
+	src := e.l.src
+	start := e.pos
+	for e.pos < e.end && (isAlpha(src[e.pos]) || src[e.pos] >= '0' && src[e.pos] <= '9') {
+		e.pos++
+	}
+	name := src[start:e.pos]
+	if !knownMathFuncs[name] {
+		e.errf(start, "unknown operand or math function %q", name)
+		return
+	}
+	e.space()
+	if e.pos >= e.end || src[e.pos] != '(' {
+		e.errf(e.pos, "missing ( after math function %q", name)
+		return
+	}
+	e.pos++
+	e.ternary()
+	e.space()
+	for !e.bad && e.pos < e.end && src[e.pos] == ',' {
+		e.pos++
+		e.ternary()
+		e.space()
+	}
+	if e.bad {
+		return
+	}
+	if e.pos >= e.end || src[e.pos] != ')' {
+		e.errf(e.pos, "missing ) after math function arguments")
+		return
+	}
+	e.pos++
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}

@@ -1,0 +1,65 @@
+// Package lint is the static-analysis engine behind cmd/tkcheck.
+//
+// It has two tiers. Tier 1 is a Tcl script linter: scripts are parsed
+// with a position-tracking scanner that performs no substitution and no
+// evaluation (internal/tcl's parser substitutes eagerly against a live
+// interpreter, so it cannot be reused for this), then checked against
+// the live command registry plus a per-command arity/subcommand spec
+// table. Deferred script arguments — bind bodies, -command options,
+// after and send scripts — are linted recursively, so callback errors
+// are caught at load time instead of event time. Tier 2 is a pair of
+// Go analyzers built on go/ast alone: a lock-discipline check driven by
+// "guarded by mu" field annotations, and an xproto opcode-completeness
+// check. See docs/static-analysis.md.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A Diag is one diagnostic, positioned at a 1-based line and column.
+type Diag struct {
+	File string
+	Line int
+	Col  int
+	Rule string // "parse", "unknown-command", "arity", "expr", "path", "options", "locks", "opcodes"
+	Msg  string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Msg, d.Rule)
+}
+
+// SortDiags orders diagnostics by file, then position.
+func SortDiags(diags []Diag) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+}
+
+// lineCol converts a byte offset into src to a 1-based line and column.
+func lineCol(src string, off int) (int, int) {
+	if off > len(src) {
+		off = len(src)
+	}
+	line := 1 + strings.Count(src[:off], "\n")
+	col := off - strings.LastIndexByte(src[:off], '\n')
+	return line, col
+}
+
+// LintScriptSource lints one Tcl script held in a string. name is used
+// as the file name in diagnostics.
+func LintScriptSource(name, src string, reg *Registry) []Diag {
+	l := newLinter(name, src, reg, nil)
+	l.run()
+	return l.diags
+}

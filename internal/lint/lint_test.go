@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkFixture runs a fresh Runner over one target and returns the
+// formatted diagnostics.
+func checkFixture(t *testing.T, target string) []string {
+	t.Helper()
+	r := NewRunner()
+	if err := r.Check(target); err != nil {
+		t.Fatalf("Check(%q): %v", target, err)
+	}
+	var got []string
+	for _, d := range r.Finish() {
+		got = append(got, d.String())
+	}
+	return got
+}
+
+func assertDiags(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\ngot:  %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag %d:\ngot:  %s\nwant: %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFixtureScripts checks every seeded-bad .tcl fixture against its
+// exact diagnostics — positions included.
+func TestFixtureScripts(t *testing.T) {
+	cases := []struct {
+		file string
+		want []string
+	}{
+		{"unknown.tcl", []string{
+			`testdata/unknown.tcl:3:1: unknown command "frobnicate" [unknown-command]`,
+		}},
+		{"arity.tcl", []string{
+			`testdata/arity.tcl:2:1: wrong # args for "set": got 0, want 1 to 2 [arity]`,
+			`testdata/arity.tcl:3:1: wrong # args for "wm": got 1, want 2 to 3 [arity]`,
+			`testdata/arity.tcl:4:1: wrong # args for "winfo" containing: got 1, want 2 [arity]`,
+		}},
+		{"brace.tcl", []string{
+			`testdata/brace.tcl:2:19: missing close-brace [parse]`,
+		}},
+		{"deferred.tcl", []string{
+			`testdata/deferred.tcl:4:18: unknown command "hilight" [unknown-command]`,
+		}},
+		{"expr.tcl", []string{
+			`testdata/expr.tcl:3:10: expression syntax error: missing operand [expr]`,
+			`testdata/expr.tcl:6:18: expression syntax error: unexpected character "*" [expr]`,
+		}},
+		{"path.tcl", []string{
+			`testdata/path.tcl:2:8: bad window path name ".a..b" [path]`,
+			`testdata/path.tcl:3:9: bad window path name ".x." [path]`,
+		}},
+		{"good.tcl", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			assertDiags(t, checkFixture(t, filepath.Join("testdata", tc.file)), tc.want)
+		})
+	}
+}
+
+// TestLocksFixture exercises the lock-discipline analyzer: only the
+// method that skips the lock is flagged; lock-held, defer-unlock and
+// "mu held" documented methods are not.
+func TestLocksFixture(t *testing.T) {
+	assertDiags(t, checkFixture(t, filepath.Join("testdata", "locks")), []string{
+		`testdata/locks/locks.go:23:11: counter.count (guarded by mu) accessed without holding mu [locks]`,
+	})
+}
+
+// TestOpcodesFixture exercises opcode completeness: OpOrphan is missing
+// from both the factory and the dispatch switch, while OpPing/OpEcho
+// are covered.
+func TestOpcodesFixture(t *testing.T) {
+	assertDiags(t, checkFixture(t, filepath.Join("testdata", "opcodes")), []string{
+		`testdata/opcodes/opcodes.go:8:2: opcode OpOrphan has no case in the NewRequest factory [opcodes]`,
+		`testdata/opcodes/opcodes.go:8:2: opcode OpOrphan has no *OrphanReq dispatch arm in any request type switch [opcodes]`,
+	})
+}
+
+// TestSuppression checks the tkcheck:ignore escape hatch: a rule list
+// suppresses only those rules for the next command, and a bare ignore
+// suppresses everything.
+func TestSuppression(t *testing.T) {
+	reg := NewRegistry()
+	src := "# tkcheck:ignore unknown-command\nmystery1\n# tkcheck:ignore\nmystery2 {\nmystery3\n"
+	got := LintScriptSource("s.tcl", src, reg)
+	if len(got) != 1 || got[0].Rule != "parse" {
+		t.Fatalf("diags = %v, want only the unsuppressed parse error", got)
+	}
+	// The ignore applies to the next command only.
+	got = LintScriptSource("s.tcl", "# tkcheck:ignore\nmystery1\nmystery2\n", reg)
+	if len(got) != 1 || got[0].Line != 3 {
+		t.Fatalf("diags = %v, want only line 3 flagged", got)
+	}
+}
+
+// TestGoScriptExtraction lints scripts embedded in Go sources: direct
+// raw literals keep exact positions, identifier references to string
+// constants are followed, and os.WriteFile script payloads are linted.
+func TestGoScriptExtraction(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+const boot = ` + "`" + `set x 1
+badcmd1 $x
+` + "`" + `
+
+func run(app interface{ MustEval(string) string }) {
+	app.MustEval(boot)
+	app.MustEval(` + "`badcmd2`" + `)
+	os.WriteFile("x.tcl", []byte(` + "`badcmd3`" + `), 0o644)
+	app.MustEval("badcmd4")
+}
+`
+	path := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := checkFixture(t, path)
+	want := []string{
+		path + `:4:1: unknown command "badcmd1" [unknown-command]`,
+		path + `:9:16: unknown command "badcmd2" [unknown-command]`,
+		path + `:10:32: unknown command "badcmd3" [unknown-command]`,
+		path + `:11:15: unknown command "badcmd4" [unknown-command]`,
+	}
+	assertDiags(t, got, want)
+}
+
+// TestProcSharingAcrossScripts: a proc defined in one Eval literal is
+// known to every other script in the same file (the jukebox pattern).
+func TestProcSharingAcrossScripts(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\nfunc run(app interface{ MustEval(string) string }) {\n" +
+		"\tapp.MustEval(`proc play {} {bell}`)\n" +
+		"\tapp.MustEval(`play`)\n" +
+		"}\n"
+	path := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	assertDiags(t, checkFixture(t, path), nil)
+}

@@ -1,0 +1,381 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// Lock-discipline analysis. Struct fields annotated with a
+// "guarded by <mutex>" comment may only be touched through the
+// receiver while that mutex is held. A method establishes "held"
+// either by calling recv.<mutex>.Lock() (deferred Unlocks keep it
+// held; a plain Unlock releases it) or by carrying a doc comment
+// saying the mutex is held on entry ("Called with s.mu held."). The
+// analysis is flow-aware enough for the codebase's idioms: branches
+// that terminate (return/break/continue) don't leak their lock state
+// into the fall-through path, loops are analyzed with their entry
+// state, and closures inherit the state at their creation point except
+// for "go func" closures, which start with nothing held.
+//
+// It is syntactic (go/ast only, matching the receiver identifier), so
+// accesses through other variables of the same type are not tracked —
+// a deliberate trade against false positives in a zero-dependency
+// analyzer.
+
+var (
+	guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+	heldRe    = regexp.MustCompile(`(?:\w+\.)?(\w+)\s+held`)
+)
+
+// CheckLocks analyzes one package's files (parsed with comments).
+func CheckLocks(fset *token.FileSet, files []*ast.File) []Diag {
+	guards := collectGuards(files) // struct name -> field -> mutex
+	if len(guards) == 0 {
+		return nil
+	}
+	var diags []Diag
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			recvType := receiverTypeName(fd.Recv.List[0].Type)
+			fields := guards[recvType]
+			if fields == nil || len(fd.Recv.List[0].Names) == 0 {
+				continue
+			}
+			recvName := fd.Recv.List[0].Names[0].Name
+			if recvName == "_" {
+				continue
+			}
+			held := make(map[string]bool)
+			if fd.Doc != nil {
+				for _, m := range heldRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+					held[m[1]] = true
+				}
+			}
+			a := &lockAnalyzer{
+				fset: fset, recv: recvName, structName: recvType, fields: fields,
+			}
+			a.block(fd.Body.List, held)
+			diags = append(diags, a.diags...)
+		}
+	}
+	return diags
+}
+
+// collectGuards reads "guarded by X" field annotations.
+func collectGuards(files []*ast.File) map[string]map[string]string {
+	guards := make(map[string]map[string]string)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex := ""
+				if field.Comment != nil {
+					if m := guardedRe.FindStringSubmatch(field.Comment.Text()); m != nil {
+						mutex = m[1]
+					}
+				}
+				if mutex == "" && field.Doc != nil {
+					if m := guardedRe.FindStringSubmatch(field.Doc.Text()); m != nil {
+						mutex = m[1]
+					}
+				}
+				if mutex == "" {
+					continue
+				}
+				if guards[ts.Name.Name] == nil {
+					guards[ts.Name.Name] = make(map[string]string)
+				}
+				for _, name := range field.Names {
+					guards[ts.Name.Name][name.Name] = mutex
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func receiverTypeName(t ast.Expr) string {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+type lockAnalyzer struct {
+	fset       *token.FileSet
+	recv       string
+	structName string
+	fields     map[string]string // field -> guarding mutex
+	diags      []Diag
+}
+
+func (a *lockAnalyzer) diag(pos token.Pos, field, mutex string) {
+	p := a.fset.Position(pos)
+	a.diags = append(a.diags, Diag{
+		File: p.Filename, Line: p.Line, Col: p.Column, Rule: "locks",
+		Msg: fmt.Sprintf("%s.%s (guarded by %s) accessed without holding %s",
+			a.structName, field, mutex, mutex),
+	})
+}
+
+// block walks statements in order, mutating held; it returns true if
+// the block always terminates (return, or an unconditional branch).
+func (a *lockAnalyzer) block(stmts []ast.Stmt, held map[string]bool) bool {
+	for _, s := range stmts {
+		if a.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// merge keeps a mutex held only if both paths hold it.
+func merge(into, other map[string]bool) {
+	for k := range into {
+		if !other[k] {
+			delete(into, k)
+		}
+	}
+}
+
+func (a *lockAnalyzer) stmt(s ast.Stmt, held map[string]bool) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		a.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			a.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			a.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		a.expr(s.X, held)
+	case *ast.SendStmt:
+		a.expr(s.Chan, held)
+		a.expr(s.Value, held)
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				a.expr(e, held)
+				return false
+			}
+			return true
+		})
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			a.expr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the surrounding analysis; treat as
+		// terminating so their branch state doesn't leak.
+		return true
+	case *ast.BlockStmt:
+		return a.block(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, held)
+		}
+		a.expr(s.Cond, held)
+		thenHeld := copyHeld(held)
+		thenTerm := a.block(s.Body.List, thenHeld)
+		var elseHeld map[string]bool
+		elseTerm := false
+		if s.Else != nil {
+			elseHeld = copyHeld(held)
+			elseTerm = a.stmt(s.Else, elseHeld)
+		}
+		switch {
+		case s.Else == nil:
+			if !thenTerm {
+				merge(held, thenHeld)
+			}
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			for k := range held {
+				delete(held, k)
+			}
+			for k, v := range elseHeld {
+				held[k] = v
+			}
+		case elseTerm:
+			for k := range held {
+				delete(held, k)
+			}
+			for k, v := range thenHeld {
+				held[k] = v
+			}
+		default:
+			merge(thenHeld, elseHeld)
+			for k := range held {
+				delete(held, k)
+			}
+			for k, v := range thenHeld {
+				held[k] = v
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			a.expr(s.Cond, held)
+		}
+		bodyHeld := copyHeld(held)
+		a.block(s.Body.List, bodyHeld)
+		if s.Post != nil {
+			a.stmt(s.Post, bodyHeld)
+		}
+		merge(held, bodyHeld)
+	case *ast.RangeStmt:
+		a.expr(s.X, held)
+		bodyHeld := copyHeld(held)
+		a.block(s.Body.List, bodyHeld)
+		merge(held, bodyHeld)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			a.expr(s.Tag, held)
+		}
+		a.caseClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, held)
+		}
+		a.caseClauses(s.Body, held)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if comm, ok := c.(*ast.CommClause); ok {
+				caseHeld := copyHeld(held)
+				if comm.Comm != nil {
+					a.stmt(comm.Comm, caseHeld)
+				}
+				a.block(comm.Body, caseHeld)
+				merge(held, caseHeld)
+			}
+		}
+	case *ast.DeferStmt:
+		// defer recv.mu.Unlock() keeps the mutex held to function end;
+		// other deferred calls run at exit with an unknowable state, so
+		// their bodies are analyzed with the current state (the common
+		// idiom defers cleanup created under the same lock).
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			a.block(fl.Body.List, copyHeld(held))
+		} else {
+			for _, e := range s.Call.Args {
+				a.expr(e, held)
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine runs concurrently: nothing is held inside.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			a.block(fl.Body.List, make(map[string]bool))
+		}
+		for _, e := range s.Call.Args {
+			a.expr(e, held)
+		}
+	case *ast.LabeledStmt:
+		return a.stmt(s.Stmt, held)
+	}
+	return false
+}
+
+func (a *lockAnalyzer) caseClauses(body *ast.BlockStmt, held map[string]bool) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			caseHeld := copyHeld(held)
+			for _, e := range cc.List {
+				a.expr(e, caseHeld)
+			}
+			a.block(cc.Body, caseHeld)
+			merge(held, caseHeld)
+		}
+	}
+}
+
+// expr checks guarded-field accesses and applies Lock/Unlock effects in
+// one expression.
+func (a *lockAnalyzer) expr(e ast.Expr, held map[string]bool) {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if mutex, isLock, ok := a.lockCall(e); ok {
+			held[mutex] = isLock
+			return
+		}
+		a.expr(e.Fun, held)
+		for _, arg := range e.Args {
+			a.expr(arg, held)
+		}
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok && id.Name == a.recv {
+			if mutex, guarded := a.fields[e.Sel.Name]; guarded && !held[mutex] {
+				a.diag(e.Sel.Pos(), e.Sel.Name, mutex)
+			}
+			return
+		}
+		a.expr(e.X, held)
+	case *ast.FuncLit:
+		// Closures inherit the lock state at their creation point (the
+		// codebase creates and invokes them under the same lock, e.g.
+		// c.reply(func(w){...}) inside handlers).
+		a.block(e.Body.List, copyHeld(held))
+	case *ast.Ident, *ast.BasicLit:
+	default:
+		ast.Inspect(e, func(n ast.Node) bool {
+			if n == e {
+				return true
+			}
+			if sub, ok := n.(ast.Expr); ok {
+				a.expr(sub, held)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// lockCall recognizes recv.<mutex>.Lock() / Unlock() calls.
+func (a *lockAnalyzer) lockCall(call *ast.CallExpr) (mutex string, isLock, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	if !selOK || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
+		return "", false, false
+	}
+	inner, innerOK := sel.X.(*ast.SelectorExpr)
+	if !innerOK {
+		return "", false, false
+	}
+	id, idOK := inner.X.(*ast.Ident)
+	if !idOK || id.Name != a.recv {
+		return "", false, false
+	}
+	return inner.Sel.Name, sel.Sel.Name == "Lock", true
+}

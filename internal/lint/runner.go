@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Runner drives a tkcheck run over a set of targets: .tcl files are
+// linted directly, Go files have their Eval/MustEval script literals
+// linted, and each Go directory is additionally analyzed as a package
+// for lock discipline. Opcode facts accumulate across every scanned
+// directory (constants and dispatcher live in different packages) and
+// are evaluated by Finish.
+type Runner struct {
+	Reg *Registry
+	// IncludeTests lints _test.go files too. Off by default: tests
+	// deliberately feed the interpreter bad scripts to exercise its
+	// error paths.
+	IncludeTests bool
+
+	opcodes *OpcodeFacts
+	diags   []Diag
+}
+
+// NewRunner builds a Runner with a fresh registry and opcode state.
+func NewRunner() *Runner {
+	return &Runner{Reg: NewRegistry(), opcodes: NewOpcodeFacts()}
+}
+
+// Check analyzes one target: a .tcl file, a .go file, a directory, or a
+// "dir/..." pattern.
+func (r *Runner) Check(target string) error {
+	if rest, ok := strings.CutSuffix(target, "..."); ok {
+		root := filepath.Clean(rest)
+		if root == "" {
+			root = "."
+		}
+		return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return r.checkDir(path)
+		})
+	}
+	info, err := os.Stat(target)
+	if err != nil {
+		return err
+	}
+	if info.IsDir() {
+		return r.checkDir(target)
+	}
+	switch {
+	case strings.HasSuffix(target, ".tcl"):
+		return r.checkTclFile(target)
+	case strings.HasSuffix(target, ".go"):
+		return r.checkGoFiles(filepath.Dir(target), []string{target})
+	}
+	return fmt.Errorf("tkcheck: don't know how to check %q (want a directory, dir/..., *.tcl or *.go)", target)
+}
+
+// Finish evaluates the cross-package opcode facts and returns all
+// diagnostics, sorted.
+func (r *Runner) Finish() []Diag {
+	r.diags = append(r.diags, r.opcodes.Diags()...)
+	SortDiags(r.diags)
+	return r.diags
+}
+
+func (r *Runner) checkDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tcl"):
+			if err := r.checkTclFile(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		case strings.HasSuffix(name, "_test.go"):
+			if r.IncludeTests {
+				goFiles = append(goFiles, filepath.Join(dir, name))
+			}
+		case strings.HasSuffix(name, ".go"):
+			goFiles = append(goFiles, filepath.Join(dir, name))
+		}
+	}
+	return r.checkGoFiles(dir, goFiles)
+}
+
+// checkGoFiles parses a directory's Go files once and runs all three
+// analyses over them.
+func (r *Runner) checkGoFiles(dir string, paths []string) error {
+	if len(paths) == 0 {
+		return nil
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("tkcheck: %v", err)
+		}
+		files = append(files, f)
+		r.diags = append(r.diags, lintGoFile(fset, f, string(src), path, r.Reg)...)
+		r.opcodes.Collect(fset, f)
+	}
+	r.diags = append(r.diags, CheckLocks(fset, files)...)
+	return nil
+}
+
+func (r *Runner) checkTclFile(path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	r.diags = append(r.diags, LintScriptSource(path, string(src), r.Reg)...)
+	return nil
+}

@@ -1,0 +1,401 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The scanner divides a script into commands and words exactly as the
+// Tcl parser would, but substitutes nothing: variable and command
+// substitutions are noted (making the containing word "dynamic") and
+// their ranges recorded so embedded scripts can be linted recursively.
+// All offsets are into the linter's unit source, so nested scripts keep
+// their true positions.
+
+// word is one parsed word of a command.
+type word struct {
+	raw     string // source text of the contents (delimiters stripped)
+	val     string // runtime value; valid only when literal
+	off     int    // offset of the contents' first byte
+	end     int    // offset one past the contents' last byte
+	braced  bool
+	quoted  bool
+	literal bool // no $var or [cmd] substitution: val is the runtime value
+	// brackets lists the content ranges of embedded [command]
+	// substitutions, each of which is itself a script.
+	brackets [][2]int
+}
+
+// cmdNode is one parsed command.
+type cmdNode struct {
+	words []word
+	off   int
+	// suppress lists rule names a "# tkcheck:ignore" comment directly
+	// above the command disables; a bare ignore yields []string{"all"}.
+	suppress []string
+}
+
+type scanner struct {
+	l   *linter
+	pos int
+	end int
+}
+
+func (s *scanner) src() string { return s.l.src }
+
+// next returns the next command in the range, or ok=false at the end.
+func (s *scanner) next() (cmdNode, bool) {
+	src := s.src()
+	var suppress []string
+	// Skip separators, newlines, semicolons and comments.
+	for s.pos < s.end {
+		c := src[s.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';':
+			s.pos++
+		case c == '\\' && s.pos+1 < s.end && src[s.pos+1] == '\n':
+			s.pos += 2
+		case c == '#':
+			start := s.pos
+			for s.pos < s.end && src[s.pos] != '\n' {
+				if src[s.pos] == '\\' && s.pos+1 < s.end {
+					s.pos++ // backslash-newline continues the comment
+				}
+				s.pos++
+			}
+			text := src[start:s.pos]
+			if i := strings.Index(text, "tkcheck:ignore"); i >= 0 {
+				rules := strings.Fields(text[i+len("tkcheck:ignore"):])
+				if len(rules) == 0 {
+					rules = []string{"all"}
+				}
+				suppress = rules
+			}
+		default:
+			goto words
+		}
+	}
+	return cmdNode{}, false
+
+words:
+	cmd := cmdNode{off: s.pos, suppress: suppress}
+	for s.pos < s.end {
+		c := src[s.pos]
+		if c == '\n' || c == ';' {
+			s.pos++
+			break
+		}
+		if c == ' ' || c == '\t' || c == '\r' {
+			s.pos++
+			continue
+		}
+		if c == '\\' && s.pos+1 < s.end && src[s.pos+1] == '\n' {
+			s.pos += 2
+			continue
+		}
+		var w word
+		switch c {
+		case '{':
+			w = s.scanBraced()
+		case '"':
+			w = s.scanQuoted()
+		default:
+			w = s.scanBare()
+		}
+		cmd.words = append(cmd.words, w)
+	}
+	return cmd, true
+}
+
+// scanBraced scans {contents}: everything verbatim, braces nesting,
+// backslash-newline is the only backslash the parser touches.
+func (s *scanner) scanBraced() word {
+	src := s.src()
+	open := s.pos
+	s.pos++ // consume '{'
+	depth := 1
+	start := s.pos
+	for s.pos < s.end {
+		switch src[s.pos] {
+		case '\\':
+			s.pos++ // skip the escaped character
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				w := word{
+					raw:     src[start:s.pos],
+					off:     start,
+					end:     s.pos,
+					braced:  true,
+					literal: true,
+				}
+				w.val = w.raw
+				s.pos++
+				s.checkWordEnd()
+				return w
+			}
+		}
+		s.pos++
+	}
+	s.l.diagAt(open, "parse", "missing close-brace")
+	return word{raw: src[start:s.pos], off: start, end: s.pos, braced: true, literal: true, val: src[start:s.pos]}
+}
+
+// scanQuoted scans "contents" with substitution tracking.
+func (s *scanner) scanQuoted() word {
+	src := s.src()
+	open := s.pos
+	s.pos++ // consume '"'
+	start := s.pos
+	w := word{off: start, quoted: true, literal: true}
+	var val strings.Builder
+	for s.pos < s.end {
+		switch src[s.pos] {
+		case '"':
+			w.raw = src[start:s.pos]
+			w.end = s.pos
+			if w.literal {
+				w.val = val.String()
+			}
+			s.pos++
+			s.checkWordEnd()
+			return w
+		case '\\':
+			val.WriteByte(s.scanBackslash())
+		case '$':
+			s.scanVarRef()
+			w.literal = false
+		case '[':
+			if r, ok := s.scanBracket(); ok {
+				w.brackets = append(w.brackets, r)
+			}
+			w.literal = false
+		default:
+			val.WriteByte(src[s.pos])
+			s.pos++
+		}
+	}
+	s.l.diagAt(open, "parse", "missing close-quote")
+	w.raw = src[start:s.pos]
+	w.end = s.pos
+	if w.literal {
+		w.val = val.String()
+	}
+	return w
+}
+
+// scanBare scans an unquoted word.
+func (s *scanner) scanBare() word {
+	src := s.src()
+	start := s.pos
+	w := word{off: start, literal: true}
+	var val strings.Builder
+	for s.pos < s.end {
+		c := src[s.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';' {
+			break
+		}
+		switch c {
+		case '\\':
+			if s.pos+1 < s.end && src[s.pos+1] == '\n' {
+				goto done // backslash-newline ends the word
+			}
+			val.WriteByte(s.scanBackslash())
+		case '$':
+			s.scanVarRef()
+			w.literal = false
+		case '[':
+			if r, ok := s.scanBracket(); ok {
+				w.brackets = append(w.brackets, r)
+			}
+			w.literal = false
+		default:
+			val.WriteByte(c)
+			s.pos++
+		}
+	}
+done:
+	w.raw = src[start:s.pos]
+	w.end = s.pos
+	if w.literal {
+		w.val = val.String()
+	}
+	return w
+}
+
+// checkWordEnd verifies a brace- or quote-delimited word is followed by
+// a separator, as Tcl requires.
+func (s *scanner) checkWordEnd() {
+	if s.pos >= s.end {
+		return
+	}
+	switch s.src()[s.pos] {
+	case ' ', '\t', '\n', '\r', ';':
+		return
+	case '\\':
+		return
+	}
+	s.l.diagAt(s.pos, "parse",
+		fmt.Sprintf("extra characters after close-brace or close-quote: %q", s.src()[s.pos]))
+}
+
+// scanBackslash consumes one backslash escape and returns its
+// (approximate) value byte; multi-byte escapes return the first byte.
+func (s *scanner) scanBackslash() byte {
+	src := s.src()
+	s.pos++ // consume '\'
+	if s.pos >= s.end {
+		return '\\'
+	}
+	c := src[s.pos]
+	s.pos++
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case 'b':
+		return '\b'
+	case 'f':
+		return '\f'
+	case 'v':
+		return '\v'
+	case 'e':
+		return 0x1b
+	case '\n':
+		return ' '
+	case 'x':
+		for s.pos < s.end && isHex(src[s.pos]) {
+			s.pos++
+		}
+		return '?'
+	case '0', '1', '2', '3', '4', '5', '6', '7':
+		for s.pos < s.end && src[s.pos] >= '0' && src[s.pos] <= '7' {
+			s.pos++
+		}
+		return '?'
+	default:
+		return c
+	}
+}
+
+// scanVarRef consumes $name, ${name} or $name(index).
+func (s *scanner) scanVarRef() {
+	src := s.src()
+	s.pos++ // consume '$'
+	if s.pos >= s.end {
+		return
+	}
+	if src[s.pos] == '{' {
+		for s.pos < s.end && src[s.pos] != '}' {
+			s.pos++
+		}
+		if s.pos >= s.end {
+			s.l.diagAt(s.pos-1, "parse", "missing close-brace for variable name")
+			return
+		}
+		s.pos++ // consume '}'
+		return
+	}
+	for s.pos < s.end && isVarNameChar(src[s.pos]) {
+		s.pos++
+	}
+	if s.pos < s.end && src[s.pos] == '(' {
+		open := s.pos
+		for s.pos < s.end && src[s.pos] != ')' {
+			if src[s.pos] == '\\' {
+				s.pos++
+			}
+			s.pos++
+		}
+		if s.pos >= s.end {
+			s.l.diagAt(open, "parse", "missing ) for array variable reference")
+			return
+		}
+		s.pos++ // consume ')'
+	}
+}
+
+// scanBracket consumes a [command] substitution, returning the content
+// range. Braces and quotes inside are skipped as units, as the inner
+// command parser would consume them.
+func (s *scanner) scanBracket() ([2]int, bool) {
+	src := s.src()
+	open := s.pos
+	s.pos++ // consume '['
+	start := s.pos
+	depth := 1
+	for s.pos < s.end {
+		switch src[s.pos] {
+		case '\\':
+			s.pos++
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth == 0 {
+				r := [2]int{start, s.pos}
+				s.pos++
+				return r, true
+			}
+		case '{':
+			s.skipBraces()
+			continue
+		case '"':
+			s.skipQuotes()
+			continue
+		}
+		s.pos++
+	}
+	s.l.diagAt(open, "parse", "missing close-bracket")
+	return [2]int{}, false
+}
+
+// skipBraces consumes a balanced {..} block starting at the current '{'.
+func (s *scanner) skipBraces() {
+	src := s.src()
+	depth := 0
+	for s.pos < s.end {
+		switch src[s.pos] {
+		case '\\':
+			s.pos++
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				s.pos++
+				return
+			}
+		}
+		s.pos++
+	}
+}
+
+// skipQuotes consumes a "-delimited section starting at the current '"'.
+func (s *scanner) skipQuotes() {
+	src := s.src()
+	s.pos++ // consume the opening quote
+	for s.pos < s.end {
+		switch src[s.pos] {
+		case '\\':
+			s.pos++
+		case '"':
+			s.pos++
+			return
+		}
+		s.pos++
+	}
+}
+
+func isVarNameChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

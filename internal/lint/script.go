@@ -1,0 +1,460 @@
+package lint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// lintMode selects how much of a script can be checked.
+type lintMode int
+
+const (
+	// modeScript lints a complete script: structure, command names,
+	// arities, nested scripts.
+	modeScript lintMode = iota
+	// modePrefix lints a command prefix: the caller appends arguments
+	// at run time (scrollbar -command, scale -command), so only
+	// structure and the leading command word are checked.
+	modePrefix
+)
+
+// linter lints one unit: a .tcl file or one script literal extracted
+// from a Go file. src is the unit's entire source; all offsets index
+// into it, and posFn (when non-nil) maps offsets to positions in the
+// enclosing file.
+type linter struct {
+	file  string
+	src   string
+	reg   *Registry
+	posFn func(off int) (line, col int)
+	// procs collects procedure and renamed-command names defined
+	// anywhere in the unit (including in deferred scripts), so a bind
+	// body may call a proc defined later at top level.
+	procs map[string]bool
+	// suppress maps active "# tkcheck:ignore" rules to the command
+	// range they cover.
+	suppressed []suppression
+	diags      []Diag
+}
+
+type suppression struct {
+	rules      []string
+	start, end int
+}
+
+func newLinter(file, src string, reg *Registry, posFn func(int) (int, int)) *linter {
+	return &linter{file: file, src: src, reg: reg, posFn: posFn, procs: make(map[string]bool)}
+}
+
+func (l *linter) run() {
+	l.collectDefs(0, len(l.src))
+	l.lintRange(0, len(l.src), modeScript)
+}
+
+func (l *linter) diagAt(off int, rule, msg string) {
+	for _, s := range l.suppressed {
+		if off >= s.start && off < s.end {
+			for _, r := range s.rules {
+				if r == "all" || r == rule {
+					return
+				}
+			}
+		}
+	}
+	var line, col int
+	if l.posFn != nil {
+		line, col = l.posFn(off)
+	} else {
+		line, col = lineCol(l.src, off)
+	}
+	l.diags = append(l.diags, Diag{File: l.file, Line: line, Col: col, Rule: rule, Msg: msg})
+}
+
+// collectDefs pre-scans a range for proc definitions and renames so
+// forward references from deferred scripts resolve. It recurses into
+// every braced word and command substitution; a proc defined inside a
+// bind body or an if arm still counts.
+func (l *linter) collectDefs(start, end int) {
+	sc := &scanner{l: &linter{file: l.file, src: l.src, reg: l.reg, procs: l.procs}, pos: start, end: end}
+	for {
+		c, ok := sc.next()
+		if !ok {
+			break
+		}
+		if len(c.words) >= 2 && c.words[0].literal {
+			switch c.words[0].val {
+			case "proc":
+				if c.words[1].literal {
+					l.procs[c.words[1].val] = true
+				}
+			case "rename":
+				if len(c.words) >= 3 && c.words[2].literal && c.words[2].val != "" {
+					l.procs[c.words[2].val] = true
+				}
+			}
+		}
+		for _, w := range c.words {
+			if w.braced && w.end > w.off {
+				l.collectDefs(w.off, w.end)
+			}
+			for _, r := range w.brackets {
+				l.collectDefs(r[0], r[1])
+			}
+		}
+	}
+}
+
+// lintRange lints src[start:end) as a script.
+func (l *linter) lintRange(start, end int, mode lintMode) {
+	sc := &scanner{l: l, pos: start, end: end}
+	for {
+		c, ok := sc.next()
+		if !ok {
+			break
+		}
+		if c.suppress != nil {
+			l.suppressed = append(l.suppressed, suppression{rules: c.suppress, start: c.off, end: sc.pos})
+		}
+		l.lintCommand(c, mode)
+	}
+}
+
+func (l *linter) lintCommand(c cmdNode, mode lintMode) {
+	// Command substitutions run regardless of which word they sit in:
+	// lint every embedded [script].
+	for _, w := range c.words {
+		for _, r := range w.brackets {
+			l.lintRange(r[0], r[1], modeScript)
+		}
+	}
+	if len(c.words) == 0 {
+		return
+	}
+	name := c.words[0]
+	if !name.literal || name.val == "" {
+		return // dynamically-named command; nothing to check
+	}
+	if strings.HasPrefix(name.val, ".") {
+		l.lintPathCommand(c, mode)
+		return
+	}
+	if !l.reg.Known(name.val) && !l.procs[name.val] {
+		l.diagAt(name.off, "unknown-command", fmt.Sprintf("unknown command %q", name.val))
+		return
+	}
+	if mode == modePrefix {
+		return // arguments will be appended at run time
+	}
+	sp := l.reg.specs[name.val]
+	if sp == nil {
+		return // known (e.g. a proc) but no spec: nothing more to check
+	}
+	nargs := len(c.words) - 1
+	if nargs < sp.min || (sp.max >= 0 && nargs > sp.max) {
+		l.diagAt(name.off, "arity",
+			fmt.Sprintf("wrong # args for %q: got %d, want %s", name.val, nargs, arityRange(sp)))
+		return
+	}
+	if sp.subs != nil && nargs >= 1 && c.words[1].literal {
+		sub := c.words[1].val
+		subSpec, ok := sp.subs[sub]
+		if !ok {
+			if !sp.subsOpen {
+				l.diagAt(c.words[1].off, "arity",
+					fmt.Sprintf("bad option %q to %q: should be %s", sub, name.val, subNames(sp)))
+			}
+		} else {
+			subArgs := nargs - 1
+			if subArgs < subSpec.min || (subSpec.max >= 0 && subArgs > subSpec.max) {
+				l.diagAt(name.off, "arity",
+					fmt.Sprintf("wrong # args for %q %s: got %d, want %s", name.val, sub, subArgs, arityRange(subSpec)))
+			}
+		}
+	}
+	for _, i := range sp.scriptArgs {
+		if i < len(c.words) {
+			l.lintDeferred(c.words[i], modeScript)
+		}
+	}
+	for _, i := range sp.prefixArgs {
+		if i < len(c.words) {
+			l.lintDeferred(c.words[i], modePrefix)
+		}
+	}
+	for _, i := range sp.exprArgs {
+		if i < len(c.words) {
+			l.lintExprWord(c.words[i])
+		}
+	}
+	for _, i := range sp.pathArgs {
+		if i < 0 { // every argument is a path (destroy)
+			for _, w := range c.words[1:] {
+				l.checkPathWord(w)
+			}
+		} else if i < len(c.words) {
+			l.checkPathWord(c.words[i])
+		}
+	}
+	if sp.check != nil {
+		sp.check(l, c)
+	}
+}
+
+// lintPathCommand checks a command whose name is a widget path
+// (".list insert end $i"): path syntax, a subcommand argument, and any
+// literal -command option values.
+func (l *linter) lintPathCommand(c cmdNode, mode lintMode) {
+	name := c.words[0]
+	l.checkPathWord(name)
+	if mode == modePrefix {
+		return
+	}
+	if len(c.words) < 2 {
+		l.diagAt(name.off, "arity",
+			fmt.Sprintf(`wrong # args: should be "%s option ?arg ...?"`, name.val))
+		return
+	}
+	// "configure" takes a single option to query it, or name/value
+	// pairs to set; any other odd count is an error at run time.
+	if c.words[1].literal && c.words[1].val == "configure" {
+		if n := len(c.words) - 2; n > 1 && n%2 != 0 {
+			l.diagAt(c.words[1].off, "options",
+				fmt.Sprintf("configure options for %q must come in name/value pairs", name.val))
+		}
+	}
+	l.lintCommandOptions(c, 2, false)
+}
+
+// lintCommandOptions scans words[from:] for literal "-command ..."
+// pairs and lints the value as a deferred script (or prefix).
+func (l *linter) lintCommandOptions(c cmdNode, from int, prefix bool) {
+	for i := from; i < len(c.words)-1; i++ {
+		if !c.words[i].literal {
+			continue
+		}
+		opt := c.words[i].val
+		if opt == "-command" {
+			mode := modeScript
+			if prefix {
+				mode = modePrefix
+			}
+			l.lintDeferred(c.words[i+1], mode)
+			i++
+		} else if prefixOptions[opt] {
+			l.lintDeferred(c.words[i+1], modePrefix)
+			i++
+		}
+	}
+}
+
+// lintDeferred lints a word's contents as a deferred script. Braced
+// words are verbatim scripts; literal quoted/bare words are too (their
+// raw text re-scans identically). Dynamic words cannot be checked.
+func (l *linter) lintDeferred(w word, mode lintMode) {
+	if !w.literal || w.end <= w.off {
+		return
+	}
+	l.lintRange(w.off, w.end, mode)
+}
+
+// lintExprWord syntax-checks a word used as an expression. Dynamic
+// words are still checked structurally: $var and [cmd] are valid
+// operands ("if $argc>0 ...").
+func (l *linter) lintExprWord(w word) {
+	if w.end <= w.off {
+		return
+	}
+	l.checkExprRange(w.off, w.end)
+}
+
+// checkPathWord validates widget path-name syntax (".a.b"): paths start
+// with "." and have no empty components.
+func (l *linter) checkPathWord(w word) {
+	if !w.literal {
+		return
+	}
+	p := w.val
+	if !strings.HasPrefix(p, ".") {
+		return // not path-shaped; other values ("none") are legal in some positions
+	}
+	if p == "." {
+		return
+	}
+	for _, comp := range strings.Split(p[1:], ".") {
+		if comp == "" {
+			l.diagAt(w.off, "path", fmt.Sprintf("bad window path name %q", p))
+			return
+		}
+	}
+}
+
+func arityRange(sp *spec) string {
+	if sp.max < 0 {
+		return fmt.Sprintf("at least %d", sp.min)
+	}
+	if sp.min == sp.max {
+		return strconv.Itoa(sp.min)
+	}
+	return fmt.Sprintf("%d to %d", sp.min, sp.max)
+}
+
+func subNames(sp *spec) string {
+	names := make([]string, 0, len(sp.subs))
+	for n := range sp.subs {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return strings.Join(names, ", ")
+}
+
+// checkIf walks the if/elseif/else structure: conditions are
+// expressions, bodies are scripts, "then"/"else" noise words allowed.
+func checkIf(l *linter, c cmdNode) {
+	w := c.words
+	i := 1
+	for {
+		if i >= len(w) {
+			return
+		}
+		l.lintExprWord(w[i]) // condition
+		i++
+		if i < len(w) && w[i].literal && w[i].val == "then" {
+			i++
+		}
+		if i >= len(w) {
+			l.diagAt(c.off, "arity", `"if" is missing a body after its condition`)
+			return
+		}
+		l.lintDeferred(w[i], modeScript) // then-body
+		i++
+		if i >= len(w) {
+			return
+		}
+		if w[i].literal && w[i].val == "elseif" {
+			i++
+			continue
+		}
+		if w[i].literal && w[i].val == "else" {
+			i++
+		}
+		if i >= len(w) {
+			l.diagAt(c.off, "arity", `"if" is missing its else body`)
+			return
+		}
+		l.lintDeferred(w[i], modeScript) // else-body
+		if i != len(w)-1 {
+			l.diagAt(w[i+1].off, "arity", `extra arguments after "if" else body`)
+		}
+		return
+	}
+}
+
+// checkAfter handles after's three forms: "after ms", "after ms
+// command...", "after cancel id", "after idle command...".
+func checkAfter(l *linter, c cmdNode) {
+	w := c.words
+	if len(w) < 2 || !w[1].literal {
+		return
+	}
+	switch w[1].val {
+	case "cancel":
+		if len(w) != 3 {
+			l.diagAt(w[0].off, "arity", `wrong # args: should be "after cancel id"`)
+		}
+		return
+	case "idle":
+		if len(w) == 3 {
+			l.lintDeferred(w[2], modeScript)
+		}
+		return
+	}
+	if _, err := strconv.Atoi(w[1].val); err != nil {
+		l.diagAt(w[1].off, "arity", fmt.Sprintf("bad milliseconds value %q to after", w[1].val))
+		return
+	}
+	if len(w) == 3 {
+		l.lintDeferred(w[2], modeScript)
+	}
+}
+
+// checkEval lints "eval {script}" when given a single literal argument;
+// multi-argument eval concatenates at run time and cannot be checked.
+func checkEval(l *linter, c cmdNode) {
+	if len(c.words) == 2 {
+		l.lintDeferred(c.words[1], modeScript)
+	}
+}
+
+// checkExprCmd syntax-checks expr's arguments. A single argument is
+// checked in place; multiple literal arguments are joined as expr
+// itself joins them, with errors reported at the first argument.
+func checkExprCmd(l *linter, c cmdNode) {
+	if len(c.words) == 2 {
+		l.lintExprWord(c.words[1])
+		return
+	}
+	parts := make([]string, 0, len(c.words)-1)
+	for _, w := range c.words[1:] {
+		if !w.literal {
+			return // dynamic pieces; skip
+		}
+		parts = append(parts, w.raw)
+	}
+	joined := strings.Join(parts, " ")
+	sub := newLinter(l.file, joined, l.reg, func(int) (int, int) {
+		if l.posFn != nil {
+			return l.posFn(c.words[1].off)
+		}
+		return lineCol(l.src, c.words[1].off)
+	})
+	sub.procs = l.procs
+	sub.checkExprRange(0, len(joined))
+	l.diags = append(l.diags, sub.diags...)
+}
+
+// checkSend lints "send app {script}": a single literal script argument
+// is linted fully; the multi-argument form joins at run time.
+func checkSend(l *linter, c cmdNode) {
+	if len(c.words) == 3 {
+		l.lintDeferred(c.words[2], modeScript)
+	}
+}
+
+// checkSelection lints "selection handle window command".
+func checkSelection(l *linter, c cmdNode) {
+	w := c.words
+	if len(w) == 4 && w[1].literal && w[1].val == "handle" {
+		l.checkPathWord(w[2])
+		l.lintDeferred(w[3], modeScript)
+	}
+}
+
+// checkWidgetCreate checks widget-creation commands: the new window's
+// path name, name/value option pairing, and deferred -command values
+// (a full script for buttons and menus, a prefix for scrollbars and
+// scales, whose widgets append arguments).
+func checkWidgetCreate(l *linter, c cmdNode) {
+	w := c.words
+	class := w[0].val
+	if w[1].literal {
+		if !strings.HasPrefix(w[1].val, ".") {
+			l.diagAt(w[1].off, "path", fmt.Sprintf("bad window path name %q", w[1].val))
+		} else {
+			l.checkPathWord(w[1])
+		}
+	}
+	if n := len(w) - 2; n%2 != 0 {
+		l.diagAt(w[0].off, "options",
+			fmt.Sprintf("%s options must come in name/value pairs", class))
+	}
+	l.lintCommandOptions(c, 2, prefixCommandClasses[class])
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

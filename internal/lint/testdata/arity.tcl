@@ -1,0 +1,4 @@
+# Fixture: wrong argument counts for known commands.
+set
+wm title
+winfo containing 10

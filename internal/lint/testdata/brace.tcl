@@ -1,0 +1,3 @@
+# Fixture: unbalanced brace.
+proc greet {name} {
+    puts "hello $name"

@@ -1,0 +1,4 @@
+# Fixture: a syntactically fine bind command whose deferred body is bad.
+button .b -text Go -command {puts pressed}
+pack append . .b {top}
+bind .b <Enter> {hilight .b on}

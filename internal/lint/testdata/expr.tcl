@@ -1,0 +1,6 @@
+# Fixture: malformed expr syntax.
+set x 3
+if {$x > } {
+    puts big
+}
+set y [expr {3 * * 4}]

@@ -1,0 +1,17 @@
+# Fixture: a clean script exercising most linted constructs.
+proc hilight {w state} {
+    if {$state == "on"} {
+        $w configure -background black
+    } else {
+        $w configure -background white
+    }
+}
+button .b -text Go -command {puts pressed}
+pack append . .b {top}
+bind .b <Enter> {hilight .b on}
+bind .b <Leave> {hilight .b off}
+scrollbar .s -command {.list view}
+set n [expr 2 * (3 + 4)]
+after 100 {puts later}
+# tkcheck:ignore unknown-command
+custom-extension .b

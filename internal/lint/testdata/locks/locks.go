@@ -1,0 +1,34 @@
+// Package locks is a fixture for the lock-discipline analyzer: count is
+// guarded by mu, and Bad reads it without holding the lock.
+package locks
+
+import "sync"
+
+type counter struct {
+	mu    sync.Mutex
+	count int // guarded by mu
+	name  string
+}
+
+// Good takes the lock around every access.
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+	return c.count
+}
+
+// Bad reads a guarded field without holding mu.
+func (c *counter) Bad() int {
+	return c.count
+}
+
+// Held is documented as requiring the lock. Called with c.mu held.
+func (c *counter) Held() int {
+	return c.count
+}
+
+// Unguarded fields need no lock.
+func (c *counter) Name() string {
+	return c.name
+}

@@ -1,0 +1,34 @@
+// Package opcodes is a fixture for the opcode-completeness analyzer:
+// OpOrphan has neither a NewRequest case nor a dispatch arm.
+package opcodes
+
+const (
+	OpPing   uint16 = 1
+	OpEcho   uint16 = 2
+	OpOrphan uint16 = 3
+)
+
+type PingReq struct{}
+type EchoReq struct{}
+
+// NewRequest is the factory the analyzer cross-checks.
+func NewRequest(op uint16) interface{} {
+	switch op {
+	case OpPing:
+		return &PingReq{}
+	case OpEcho:
+		return &EchoReq{}
+	}
+	return nil
+}
+
+// dispatch is a request type switch (two Req cases qualify it).
+func dispatch(r interface{}) string {
+	switch r.(type) {
+	case *PingReq:
+		return "ping"
+	case *EchoReq:
+		return "echo"
+	}
+	return ""
+}

@@ -1,0 +1,3 @@
+# Fixture: invalid widget path names.
+button .a..b -text oops
+destroy .x.

@@ -1,0 +1,3 @@
+# Fixture: an unknown command name.
+set x 1
+frobnicate $x

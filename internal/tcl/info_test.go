@@ -68,13 +68,42 @@ func TestCommandNames(t *testing.T) {
 	for _, n := range names {
 		found[n] = true
 	}
-	for _, want := range []string{"set", "proc", "expr", "regexp", "pack"} {
-		if want == "pack" {
-			continue // pack is a Tk command, not a Tcl one
-		}
+	for _, want := range []string{"set", "proc", "expr", "regexp", "string", "foreach"} {
 		if !found[want] {
 			t.Errorf("CommandNames missing %q", want)
 		}
+	}
+	if found["pack"] {
+		t.Error("CommandNames includes Tk's pack command in a bare interpreter")
+	}
+
+	// The table tracks Register/Unregister.
+	in.Register("frobnicate", func(in *Interp, args []string) (string, error) { return "", nil })
+	if !in.HasCommand("frobnicate") {
+		t.Fatal("HasCommand false after Register")
+	}
+	after := in.CommandNames()
+	if len(after) != len(names)+1 {
+		t.Errorf("CommandNames len = %d after Register, want %d", len(after), len(names)+1)
+	}
+	if !in.Unregister("frobnicate") {
+		t.Error("Unregister returned false for a registered command")
+	}
+	if in.Unregister("frobnicate") {
+		t.Error("Unregister returned true for a missing command")
+	}
+
+	// The returned slice is a copy: mutating it must not corrupt the
+	// interpreter's table.
+	snapshot := in.CommandNames()
+	for i := range snapshot {
+		snapshot[i] = "clobbered"
+	}
+	if !in.HasCommand("set") {
+		t.Error("mutating the CommandNames result affected the registry")
+	}
+	if got := len(in.CommandNames()); got != len(names) {
+		t.Errorf("CommandNames len = %d after mutation, want %d", got, len(names))
 	}
 }
 

@@ -12,29 +12,57 @@ import (
 	"repro/internal/xproto"
 )
 
+// commandTable maps each intrinsics command name to its implementation.
+// It is the single source of truth for the Tk command set: both
+// registration and the static-analysis introspection in CommandNames
+// derive from it.
+func (app *App) commandTable() map[string]tcl.CmdFunc {
+	return map[string]tcl.CmdFunc{
+		"bind":      app.cmdBind,
+		"destroy":   app.cmdDestroy,
+		"update":    app.cmdUpdate,
+		"after":     app.cmdAfter,
+		"focus":     app.cmdFocus,
+		"option":    app.cmdOption,
+		"selection": app.cmdSelection,
+		"send":      app.cmdSend,
+		"winfo":     app.cmdWinfo,
+		"wm":        app.cmdWm,
+		"raise":     app.cmdRaise,
+		"lower":     app.cmdLower,
+		"bell": func(*tcl.Interp, []string) (string, error) {
+			app.Disp.Bell()
+			return "", nil
+		},
+		"tkwait": app.cmdTkwait,
+	}
+}
+
 // registerCommands installs the intrinsics' Tcl commands: bind, destroy,
 // update, after, focus, option, selection, send, winfo and wm. Together
 // with the widget-creation commands these make "virtually all of the
 // intrinsics accessible from Tcl" (§3).
 func registerCommands(app *App) {
-	in := app.Interp
-	in.Register("bind", app.cmdBind)
-	in.Register("destroy", app.cmdDestroy)
-	in.Register("update", app.cmdUpdate)
-	in.Register("after", app.cmdAfter)
-	in.Register("focus", app.cmdFocus)
-	in.Register("option", app.cmdOption)
-	in.Register("selection", app.cmdSelection)
-	in.Register("send", app.cmdSend)
-	in.Register("winfo", app.cmdWinfo)
-	in.Register("wm", app.cmdWm)
-	in.Register("raise", app.cmdRaise)
-	in.Register("lower", app.cmdLower)
-	in.Register("bell", func(*tcl.Interp, []string) (string, error) {
-		app.Disp.Bell()
-		return "", nil
-	})
-	in.Register("tkwait", app.cmdTkwait)
+	for name, fn := range app.commandTable() {
+		app.Interp.Register(name, fn)
+	}
+}
+
+// CommandNames returns, sorted, the Tcl command names the Tk intrinsics
+// register in every application's interpreter (including "pack", which
+// the geometry manager registers separately). It needs no display
+// connection and exists so tools such as cmd/tkcheck can introspect the
+// command set statically.
+func CommandNames() []string {
+	var app App
+	table := app.commandTable()
+	names := make([]string, 0, len(table)+1)
+	for name := range table {
+		names = append(names, name)
+	}
+	names = append(names, "pack")
+	sort.Strings(names)
+	return names
 }
 
 func (app *App) cmdBind(in *tcl.Interp, args []string) (string, error) {

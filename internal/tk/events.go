@@ -139,7 +139,7 @@ func (app *App) DoOneEvent(wait bool) bool {
 	select {
 	case ev, ok := <-app.Disp.Events():
 		if !ok {
-			app.quitFlag = true
+			app.quitFlag.Store(true)
 			return false
 		}
 		app.DispatchEvent(&ev)
@@ -174,7 +174,7 @@ func (app *App) DoOneEvent(wait bool) bool {
 	select {
 	case ev, ok := <-app.Disp.Events():
 		if !ok {
-			app.quitFlag = true
+			app.quitFlag.Store(true)
 			return false
 		}
 		app.DispatchEvent(&ev)

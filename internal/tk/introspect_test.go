@@ -1,0 +1,41 @@
+package tk
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/tcl"
+)
+
+// TestCommandNamesMatchRegister keeps the static CommandNames table in
+// sync with what NewApp actually registers: every advertised name must
+// be a live command, and every command NewApp adds on top of the bare
+// Tcl interpreter must be advertised.
+func TestCommandNamesMatchRegister(t *testing.T) {
+	app, _ := newTestApp(t)
+
+	names := CommandNames()
+	if !sort.StringsAreSorted(names) {
+		t.Error("CommandNames is not sorted")
+	}
+	advertised := map[string]bool{}
+	for _, n := range names {
+		if advertised[n] {
+			t.Errorf("CommandNames lists %q twice", n)
+		}
+		advertised[n] = true
+		if !app.Interp.HasCommand(n) {
+			t.Errorf("CommandNames lists %q but NewApp did not register it", n)
+		}
+	}
+
+	bare := map[string]bool{}
+	for _, n := range tcl.New().CommandNames() {
+		bare[n] = true
+	}
+	for _, n := range app.Interp.CommandNames() {
+		if !bare[n] && !advertised[n] {
+			t.Errorf("NewApp registers %q but CommandNames does not list it", n)
+		}
+	}
+}

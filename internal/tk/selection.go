@@ -159,7 +159,7 @@ func (app *App) pumpOnce() {
 	select {
 	case ev, ok := <-app.Disp.Events():
 		if !ok {
-			app.quitFlag = true
+			app.quitFlag.Store(true)
 			return
 		}
 		app.DispatchEvent(&ev)

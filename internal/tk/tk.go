@@ -11,6 +11,7 @@ package tk
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/tcl"
 	"repro/internal/xclient"
@@ -134,10 +135,14 @@ type App struct {
 	options *optionDB
 	packer  *Packer
 
-	timers   *timerQueue
-	idle     []func()
-	posted   chan func()
-	quitFlag bool
+	timers *timerQueue
+	idle   []func()
+	posted chan func()
+	// quitFlag and destroyed are atomic because StartServing pumps the
+	// event loop in a background goroutine: bindings fired there (e.g.
+	// "destroy .", exit, Control-q handlers) set them while the main
+	// goroutine polls Quitting.
+	quitFlag atomic.Bool
 
 	// Selection state.
 	selOwner    *Window
@@ -156,7 +161,7 @@ type App struct {
 	atomSendRes  xproto.Atom
 	atomSelProp  xproto.Atom
 
-	destroyed bool
+	destroyed atomic.Bool
 }
 
 type sendResult struct {
@@ -267,10 +272,11 @@ func (app *App) selectStructure(w *Window) {
 }
 
 // Quit asks the event loop to exit.
-func (app *App) Quit() { app.quitFlag = true }
+func (app *App) Quit() { app.quitFlag.Store(true) }
 
-// Quitting reports whether Quit or Destroy has been called.
-func (app *App) Quitting() bool { return app.quitFlag || app.destroyed }
+// Quitting reports whether Quit or Destroy has been called. Safe to
+// call from any goroutine.
+func (app *App) Quitting() bool { return app.quitFlag.Load() || app.destroyed.Load() }
 
 // NameToWindow resolves a path name ("." or ".a.b") to its Window.
 func (app *App) NameToWindow(path string) (*Window, error) {
@@ -410,11 +416,10 @@ func (app *App) DestroyWindow(w *Window) {
 // Destroy tears the whole application down: unregisters from the send
 // registry, destroys the window tree and marks the interpreter dead.
 func (app *App) Destroy() {
-	if app.destroyed {
+	if !app.destroyed.CompareAndSwap(false, true) {
 		return
 	}
-	app.destroyed = true
-	app.quitFlag = true
+	app.quitFlag.Store(true)
 	app.unregisterName()
 	if app.Main != nil && !app.Main.Destroyed {
 		app.DestroyWindow(app.Main)

@@ -1,0 +1,30 @@
+package widget_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/widget"
+)
+
+// TestCommandNamesMatchRegister keeps the static CommandNames table in
+// sync with Register: every advertised widget class must be a live
+// creation command in a full application.
+func TestCommandNamesMatchRegister(t *testing.T) {
+	app, _ := newApp(t)
+
+	names := widget.CommandNames()
+	if !sort.StringsAreSorted(names) {
+		t.Error("CommandNames is not sorted")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("CommandNames lists %q twice", n)
+		}
+		seen[n] = true
+		if !app.Interp.HasCommand(n) {
+			t.Errorf("CommandNames lists %q but Register did not install it", n)
+		}
+	}
+}

@@ -26,6 +26,18 @@ const (
 	DefFont             = "6x13"
 )
 
+// CommandNames returns, sorted, the widget-creation command names that
+// Register installs. It needs no application and exists so tools such
+// as cmd/tkcheck can introspect the command set statically;
+// TestCommandNamesMatchRegister keeps it in sync with Register.
+func CommandNames() []string {
+	return []string{
+		"button", "canvas", "checkbutton", "entry", "frame", "label",
+		"listbox", "menu", "menubutton", "message", "radiobutton",
+		"scale", "scrollbar", "text", "toplevel",
+	}
+}
+
 // Register installs every widget-creation command in an application's
 // interpreter. core.NewApp calls this; tests may call it directly.
 func Register(app *tk.App) {

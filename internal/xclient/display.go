@@ -28,10 +28,10 @@ type Display struct {
 	ErrorHandler func(msg string)
 
 	mu      sync.Mutex // serializes writers and round trips
-	wbuf    []byte
-	seq     uint64
-	idNext  uint32
-	closed  bool
+	wbuf    []byte     // guarded by mu
+	seq     uint64     // guarded by mu
+	idNext  uint32     // guarded by mu (written once more in Open, pre-publication)
+	closed  bool       // guarded by mu
 	pending chan serverMsg
 
 	// Incoming events are buffered in an unbounded queue (as Xlib's
@@ -41,11 +41,11 @@ type Display struct {
 	events  chan xproto.Event
 	evMu    sync.Mutex
 	evCond  *sync.Cond
-	evQueue []xproto.Event
-	evDone  bool
+	evQueue []xproto.Event // guarded by evMu
+	evDone  bool           // guarded by evMu
 
 	errMu  sync.Mutex
-	errors []string
+	errors []string // guarded by errMu
 
 	readerDone chan struct{}
 	stop       chan struct{} // closed by Close; releases the feeder

@@ -240,6 +240,19 @@ func (d *Display) OpenFont(name string) (*Font, error) {
 	return f, nil
 }
 
+// TextExtents queries the server for the rendered extents of text in a
+// font (one round trip). Widget code usually uses the cached
+// Font.TextWidth instead; this is the protocol-level query.
+func (d *Display) TextExtents(f *Font, text string) (ascent, descent, width int, err error) {
+	var rep xproto.QueryTextExtentsReply
+	err = d.RoundTrip(&xproto.QueryTextExtentsReq{Fid: f.ID, Text: text},
+		func(r *xproto.Reader) { rep.Decode(r) })
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return int(rep.Ascent), int(rep.Descent), int(rep.Width), nil
+}
+
 // CloseFont releases a font.
 func (d *Display) CloseFont(f *Font) {
 	d.Request(&xproto.CloseFontReq{Fid: f.ID})

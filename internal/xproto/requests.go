@@ -69,7 +69,7 @@ func HasReply(op uint16) bool {
 	switch op {
 	case OpGetGeometry, OpQueryTree, OpInternAtom, OpGetAtomName,
 		OpGetProperty, OpListProperties, OpGetSelectionOwner,
-		OpQueryPointer, OpGetInputFocus, OpQueryFont,
+		OpQueryPointer, OpGetInputFocus, OpQueryFont, OpQueryTextExtents,
 		OpAllocColor, OpAllocNamedColor, OpScreenshot, OpPing,
 		OpQueryCounters:
 		return true
@@ -129,6 +129,8 @@ func NewRequest(op uint16) Request {
 		return &CloseFontReq{}
 	case OpQueryFont:
 		return &QueryFontReq{}
+	case OpQueryTextExtents:
+		return &QueryTextExtentsReq{}
 	case OpCreatePixmap:
 		return &CreatePixmapReq{}
 	case OpFreePixmap:
@@ -683,6 +685,43 @@ type QueryFontReq struct{ Fid ID }
 func (q *QueryFontReq) Op() uint16       { return OpQueryFont }
 func (q *QueryFontReq) Encode(w *Writer) { w.PutU32(uint32(q.Fid)) }
 func (q *QueryFontReq) Decode(r *Reader) { q.Fid = ID(r.U32()) }
+
+// QueryTextExtentsReq asks for the extents of a string rendered in a
+// font.
+type QueryTextExtentsReq struct {
+	Fid  ID
+	Text string
+}
+
+func (q *QueryTextExtentsReq) Op() uint16 { return OpQueryTextExtents }
+func (q *QueryTextExtentsReq) Encode(w *Writer) {
+	w.PutU32(uint32(q.Fid))
+	w.PutString(q.Text)
+}
+func (q *QueryTextExtentsReq) Decode(r *Reader) {
+	q.Fid = ID(r.U32())
+	q.Text = r.String()
+}
+
+// QueryTextExtentsReply answers QueryTextExtents.
+type QueryTextExtentsReply struct {
+	Ascent, Descent int16
+	Width           int32
+}
+
+// Encode serializes the reply.
+func (p *QueryTextExtentsReply) Encode(w *Writer) {
+	w.PutI16(p.Ascent)
+	w.PutI16(p.Descent)
+	w.PutU32(uint32(p.Width))
+}
+
+// Decode deserializes the reply.
+func (p *QueryTextExtentsReply) Decode(r *Reader) {
+	p.Ascent = r.I16()
+	p.Descent = r.I16()
+	p.Width = int32(r.U32())
+}
 
 // QueryFontReply answers QueryFont. Widths holds the advance width of
 // each ASCII character 0-127.

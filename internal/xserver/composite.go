@@ -14,7 +14,7 @@ const (
 )
 
 // composite recursively paints w and its mapped descendants into dst with
-// w's content origin at (ox, oy).
+// w's content origin at (ox, oy). Called with s.mu held.
 func (s *Server) composite(dst *image, w *window, ox, oy int) {
 	// Border.
 	if w.borderWidth > 0 {
@@ -49,7 +49,7 @@ func (s *Server) composite(dst *image, w *window, ox, oy int) {
 }
 
 // handleScreenshot renders the composited screen (or one window's
-// subtree) and replies with packed RGB pixels.
+// subtree) and replies with packed RGB pixels. Called with s.mu held.
 func (s *Server) handleScreenshot(c *conn, q *xproto.ScreenshotReq) {
 	var shot *image
 	if q.Window == xproto.None || q.Window == s.Root() {

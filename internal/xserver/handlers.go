@@ -85,6 +85,18 @@ func (s *Server) handle(c *conn, req xproto.Request) {
 		}
 		rep := &xproto.QueryFontReply{Ascent: int16(f.ascent), Descent: int16(f.descent), Widths: f.widths()}
 		c.reply(func(w *xproto.Writer) { rep.Encode(w) })
+	case *xproto.QueryTextExtentsReq:
+		f := s.fonts[q.Fid]
+		if f == nil {
+			c.protoError("QueryTextExtents: bad font %d", q.Fid)
+			return
+		}
+		rep := &xproto.QueryTextExtentsReply{
+			Ascent:  int16(f.ascent),
+			Descent: int16(f.descent),
+			Width:   int32(f.textWidth(q.Text)),
+		}
+		c.reply(func(w *xproto.Writer) { rep.Encode(w) })
 	case *xproto.CreatePixmapReq:
 		s.pixmaps[q.Pid] = newImage(int(q.Width), int(q.Height))
 	case *xproto.FreePixmapReq:
@@ -184,7 +196,7 @@ func applyGC(gc *gcontext, mask, fg, bg uint32, lw uint16, font xproto.ID) {
 	}
 }
 
-// drawable resolves an ID to its pixel buffer (window or pixmap).
+// drawable resolves an ID to its pixel buffer (window or pixmap). Called with s.mu held.
 func (s *Server) drawable(id xproto.ID) *image {
 	if w := s.windows[id]; w != nil {
 		return w.img
@@ -192,6 +204,7 @@ func (s *Server) drawable(id xproto.ID) *image {
 	return s.pixmaps[id]
 }
 
+// Called with s.mu held.
 func (s *Server) handleCreateWindow(c *conn, q *xproto.CreateWindowReq) {
 	parent := s.windows[q.Parent]
 	if parent == nil {
@@ -226,6 +239,7 @@ func (s *Server) handleCreateWindow(c *conn, q *xproto.CreateWindowReq) {
 	s.windows[q.Wid] = w
 }
 
+// Called with s.mu held.
 func (s *Server) handleChangeAttributes(c *conn, q *xproto.ChangeWindowAttributesReq) {
 	w := s.windows[q.Window]
 	if w == nil {
@@ -253,6 +267,7 @@ func (s *Server) handleChangeAttributes(c *conn, q *xproto.ChangeWindowAttribute
 	}
 }
 
+// Called with s.mu held.
 func (s *Server) handleConfigureWindow(c *conn, q *xproto.ConfigureWindowReq) {
 	w := s.windows[q.Window]
 	if w == nil || w == s.root {
@@ -303,6 +318,7 @@ func (s *Server) handleConfigureWindow(c *conn, q *xproto.ConfigureWindowReq) {
 	s.refreshPointerWindow()
 }
 
+// Called with s.mu held.
 func (s *Server) handleGetGeometry(c *conn, q *xproto.GetGeometryReq) {
 	if w := s.windows[q.Drawable]; w != nil {
 		rep := &xproto.GeometryReply{
@@ -320,6 +336,7 @@ func (s *Server) handleGetGeometry(c *conn, q *xproto.GetGeometryReq) {
 	c.protoError("GetGeometry: bad drawable %d", q.Drawable)
 }
 
+// Called with s.mu held.
 func (s *Server) handleQueryTree(c *conn, q *xproto.QueryTreeReq) {
 	w := s.windows[q.Window]
 	if w == nil {
@@ -336,6 +353,7 @@ func (s *Server) handleQueryTree(c *conn, q *xproto.QueryTreeReq) {
 	c.reply(func(wr *xproto.Writer) { rep.Encode(wr) })
 }
 
+// Called with s.mu held.
 func (s *Server) handleInternAtom(c *conn, q *xproto.InternAtomReq) {
 	a, ok := s.atoms[q.Name]
 	if !ok && !q.OnlyIfExists {
@@ -347,6 +365,7 @@ func (s *Server) handleInternAtom(c *conn, q *xproto.InternAtomReq) {
 	c.reply(func(w *xproto.Writer) { (&xproto.AtomReply{Atom: a}).Encode(w) })
 }
 
+// Called with s.mu held.
 func (s *Server) handleChangeProperty(c *conn, q *xproto.ChangePropertyReq) {
 	w := s.windows[q.Window]
 	if w == nil {
@@ -365,6 +384,7 @@ func (s *Server) handleChangeProperty(c *conn, q *xproto.ChangePropertyReq) {
 	s.sendPropertyNotify(w, q.Property, xproto.PropertyNewValue)
 }
 
+// Called with s.mu held.
 func (s *Server) handleDeleteProperty(c *conn, q *xproto.DeletePropertyReq) {
 	w := s.windows[q.Window]
 	if w == nil {
@@ -376,6 +396,7 @@ func (s *Server) handleDeleteProperty(c *conn, q *xproto.DeletePropertyReq) {
 	}
 }
 
+// Called with s.mu held.
 func (s *Server) handleGetProperty(c *conn, q *xproto.GetPropertyReq) {
 	w := s.windows[q.Window]
 	if w == nil {
@@ -391,6 +412,7 @@ func (s *Server) handleGetProperty(c *conn, q *xproto.GetPropertyReq) {
 	}
 }
 
+// Called with s.mu held.
 func (s *Server) handleListProperties(c *conn, q *xproto.ListPropertiesReq) {
 	w := s.windows[q.Window]
 	if w == nil {
@@ -405,6 +427,7 @@ func (s *Server) handleListProperties(c *conn, q *xproto.ListPropertiesReq) {
 	c.reply(func(wr *xproto.Writer) { rep.Encode(wr) })
 }
 
+// Called with s.mu held.
 func (s *Server) handleSetSelectionOwner(c *conn, q *xproto.SetSelectionOwnerReq) {
 	var newOwner *window
 	if q.Owner != xproto.None {
@@ -434,6 +457,7 @@ func (s *Server) handleSetSelectionOwner(c *conn, q *xproto.SetSelectionOwnerReq
 	}
 }
 
+// Called with s.mu held.
 func (s *Server) handleConvertSelection(c *conn, q *xproto.ConvertSelectionReq) {
 	requestor := s.windows[q.Requestor]
 	if requestor == nil {
@@ -470,6 +494,7 @@ func (s *Server) handleConvertSelection(c *conn, q *xproto.ConvertSelectionReq) 
 	sel.owner.owner.sendEvent(ev)
 }
 
+// Called with s.mu held.
 func (s *Server) handleSendEvent(c *conn, q *xproto.SendEventReq) {
 	w := s.windows[q.Destination]
 	if w == nil {
@@ -493,6 +518,7 @@ func (s *Server) handleSendEvent(c *conn, q *xproto.SendEventReq) {
 	}
 }
 
+// Called with s.mu held.
 func (s *Server) handleClearArea(c *conn, q *xproto.ClearAreaReq) {
 	w := s.windows[q.Window]
 	if w == nil {
@@ -509,6 +535,7 @@ func (s *Server) handleClearArea(c *conn, q *xproto.ClearAreaReq) {
 	w.img.fillRect(int(q.X), int(q.Y), wd, ht, w.background)
 }
 
+// Called with s.mu held.
 func (s *Server) handleCopyArea(c *conn, q *xproto.CopyAreaReq) {
 	src := s.drawable(q.Src)
 	dst := s.drawable(q.Dst)
@@ -519,6 +546,7 @@ func (s *Server) handleCopyArea(c *conn, q *xproto.CopyAreaReq) {
 	dst.copyFrom(src, int(q.SrcX), int(q.SrcY), int(q.DstX), int(q.DstY), int(q.Width), int(q.Height))
 }
 
+// Called with s.mu held.
 func (s *Server) handleDrawText(c *conn, drawable, gcID xproto.ID, x, y int16, text string, imageText bool) {
 	im := s.drawable(drawable)
 	gc := s.gcs[gcID]

@@ -20,38 +20,44 @@ import (
 )
 
 // Server is a simulated X display.
+//
+// mu serializes all request handling: every mutable field below carries
+// a "guarded by mu" annotation, and cmd/tkcheck's lock analyzer checks
+// that annotated fields are only touched with mu held (or from methods
+// documented "s.mu held").
 type Server struct {
 	mu sync.Mutex
 
-	width, height int
-	root          *window
-	windows       map[xproto.ID]*window
-	pixmaps       map[xproto.ID]*image
-	gcs           map[xproto.ID]*gcontext
-	fonts         map[xproto.ID]*font
-	cursors       map[xproto.ID]string
+	width, height int                     // immutable after New
+	root          *window                 // the pointer is immutable; its contents are guarded by mu
+	windows       map[xproto.ID]*window   // guarded by mu
+	pixmaps       map[xproto.ID]*image    // guarded by mu
+	gcs           map[xproto.ID]*gcontext // guarded by mu
+	fonts         map[xproto.ID]*font     // guarded by mu
+	cursors       map[xproto.ID]string    // guarded by mu
 
-	atoms     map[string]xproto.Atom
-	atomNames map[xproto.Atom]string
-	nextAtom  xproto.Atom
+	atoms     map[string]xproto.Atom // guarded by mu
+	atomNames map[xproto.Atom]string // guarded by mu
+	nextAtom  xproto.Atom            // guarded by mu
 
-	selections map[xproto.Atom]*selection
+	selections map[xproto.Atom]*selection // guarded by mu
 
-	focus xproto.ID
+	focus xproto.ID // guarded by mu
 
-	pointerX, pointerY int
-	buttons            uint16
-	modifiers          uint16
-	pointerWin         *window
-	grabWin            *window
+	pointerX   int     // guarded by mu
+	pointerY   int     // guarded by mu
+	buttons    uint16  // guarded by mu
+	modifiers  uint16  // guarded by mu
+	pointerWin *window // guarded by mu
+	grabWin    *window // guarded by mu
 
-	nextIDBase uint32
+	nextIDBase uint32       // guarded by mu
 	latency    atomic.Int64 // nanoseconds per request
-	start      time.Time
+	start      time.Time    // immutable after New
 
-	conns    map[*conn]bool
-	listener net.Listener
-	closed   bool
+	conns    map[*conn]bool // guarded by mu
+	listener net.Listener   // guarded by mu
+	closed   bool           // guarded by mu
 
 	// TotalRequests counts requests across all connections (read with
 	// Stats).
@@ -360,7 +366,7 @@ func (s *Server) dispatch(c *conn, op uint16, payload []byte) {
 
 // cleanupConn releases all resources owned by a departed client: its
 // windows are destroyed (as X does), its GCs, fonts and pixmaps freed,
-// its event-mask entries removed, and its selections cleared.
+// its event-mask entries removed, and its selections cleared. Called with s.mu held.
 func (s *Server) cleanupConn(c *conn) {
 	// Destroy windows owned by the connection, top-level first.
 	var owned []*window
