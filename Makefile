@@ -1,12 +1,13 @@
-# Pre-PR gate: build, vet, race-gated tests, then tkcheck over every
-# Tcl script in the tree (docs/static-analysis.md). All four legs must
-# pass before a change ships.
+# Pre-PR gate: build, vet, race-gated tests, tkcheck over every Tcl
+# script in the tree (docs/static-analysis.md), and the observability
+# smoke (docs/observability.md). All five legs must pass before a
+# change ships.
 
 GO ?= go
 
-.PHONY: check build vet test tkcheck bench
+.PHONY: check build vet test tkcheck bench bench-smoke
 
-check: build vet test tkcheck
+check: build vet test tkcheck bench-smoke
 
 build:
 	$(GO) build ./...
@@ -23,3 +24,10 @@ tkcheck:
 
 bench:
 	$(GO) test -bench=. -benchmem
+	OBS_BENCH=1 $(GO) test -run TestEmitObsBench -count=1 .
+
+# bench-smoke runs the metrics-path end-to-end check (and emits
+# BENCH_obs.json as a side effect): roundtrip p50 must track the
+# simulated IPC latency at two settings.
+bench-smoke:
+	OBS_BENCH=1 $(GO) test -run TestEmitObsBench -count=1 .

@@ -1,6 +1,10 @@
 // Command tclsh is a plain Tcl shell: the Tcl distribution without Tk,
 // as it shipped from 1989 (§7 of the paper). It evaluates a script file
 // or reads commands interactively from standard input.
+//
+// With -trace, every command invocation (fully substituted) is logged
+// to a bounded ring and dumped to standard error at exit — the Tcl-level
+// counterpart of wish's protocol trace.
 package main
 
 import (
@@ -9,29 +13,44 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/tcl"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body with a normal return path, so the -trace dump
+// (deferred) also happens when a script fails.
+func run() int {
 	in := tcl.New()
-	if len(os.Args) > 1 {
-		var rest []string
-		if len(os.Args) > 2 {
-			rest = os.Args[2:]
-		}
-		in.SetGlobal("argv0", os.Args[1])
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-trace" {
+		ring := obs.NewRing(4096)
+		in.Trace = func(words []string) { ring.Append(strings.Join(words, " ")) }
+		defer func() {
+			for _, e := range ring.Last(0) {
+				fmt.Fprintf(os.Stderr, "%04d %s\n", e.Seq, e.Text)
+			}
+		}()
+		args = args[1:]
+	}
+	if len(args) > 0 {
+		rest := args[1:]
+		in.SetGlobal("argv0", args[0])
 		in.SetGlobal("argv", tcl.FormatList(rest))
 		in.SetGlobal("argc", fmt.Sprint(len(rest)))
-		data, err := os.ReadFile(os.Args[1])
+		data, err := os.ReadFile(args[0])
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tclsh: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if _, err := in.Eval(string(data)); err != nil {
 			fmt.Fprintf(os.Stderr, "tclsh: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	scanner := bufio.NewScanner(os.Stdin)
@@ -55,6 +74,7 @@ func main() {
 		}
 		fmt.Print(prompt)
 	}
+	return 0
 }
 
 func balanced(s string) bool {

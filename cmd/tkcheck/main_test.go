@@ -28,7 +28,7 @@ func TestExitNonZeroOnBadFixtures(t *testing.T) {
 		{fixtures + "/expr.tcl", `expr.tcl:3:10: expression syntax error`},
 		{fixtures + "/path.tcl", `path.tcl:2:8: bad window path name ".a..b"`},
 		{fixtures + "/locks", `locks.go:23:11: counter.count (guarded by mu) accessed without holding mu`},
-		{fixtures + "/opcodes", `opcodes.go:8:2: opcode OpOrphan has no case in the NewRequest factory`},
+		{fixtures + "/opcodes", `opcodes.go:9:2: opcode OpOrphan has no case in the NewRequest factory`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.target, func(t *testing.T) {

@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	wish ?-f script? ?-name appName? ?-display addr? ?arg ...?
+//	wish ?-f script? ?-name appName? ?-display addr? ?-trace? ?arg ...?
 //
 // With -display (or the WISH_DISPLAY environment variable) wish connects
 // to a shared simulated display server started with xsimd, so several
 // wish applications can see each other and communicate with send. Without
 // it, a private in-process display server is created.
+//
+// With -trace, every protocol request, reply, error and event crossing
+// the display connection is decoded (xscope-style); the accumulated
+// trace is printed to standard error at exit and is available to
+// scripts while running via "tkstats trace".
 //
 // The special command "screenshot file.ppm ?window?" is added so headless
 // runs can capture what would be on screen.
@@ -30,6 +35,7 @@ func main() {
 		script  string
 		appName = "wish"
 		display = os.Getenv("WISH_DISPLAY")
+		trace   bool
 	)
 	args := os.Args[1:]
 	var scriptArgs []string
@@ -56,6 +62,8 @@ func main() {
 			}
 			i++
 			display = args[i]
+		case "-trace":
+			trace = true
 		default:
 			if script == "" && !strings.HasPrefix(args[i], "-") {
 				// "wish script args..." shorthand.
@@ -74,11 +82,20 @@ func main() {
 		}
 	}
 
-	app, err := core.NewApp(core.Options{Name: appName, Display: display})
+	app, err := core.NewApp(core.Options{Name: appName, Display: display, Trace: trace})
 	if err != nil {
 		fatal("%v", err)
 	}
 	defer app.Close()
+	if trace {
+		// Runs before the deferred Close above (LIFO), so the
+		// connection is still coherent while dumping.
+		defer func() {
+			for _, line := range app.Tracer.Dump(0) {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}()
+	}
 
 	// Script-visible argument variables, as in wish.
 	app.Interp.SetGlobal("argv0", appName)

@@ -326,6 +326,90 @@ func TestSizesTool(t *testing.T) {
 	}
 }
 
+// TestWishTraceFlag: wish -trace decodes the protocol stream. The
+// script reads its own trace with "tkstats trace" while running, and
+// the full accumulated trace is dumped to stderr at exit.
+func TestWishTraceFlag(t *testing.T) {
+	wish, _ := binaries(t)
+	dir := t.TempDir()
+	script := filepath.Join(dir, "app.tcl")
+	if err := os.WriteFile(script, []byte(`
+		button .b -text traced
+		pack append . .b {top}
+		update
+		print "lines: [llength [split [tkstats trace] \n]]\n"
+		print "roundtrip: [lindex [tkstats histogram roundtrip] 1]\n"
+		destroy .
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(wish, "-trace", "-f", script)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("wish -trace failed: %v\n%s%s", err, stdout.String(), stderr.String())
+	}
+	// The script saw a non-trivial trace from inside.
+	var lines int
+	if _, err := fmt.Sscanf(stdout.String(), "lines: %d", &lines); err != nil || lines < 10 {
+		t.Fatalf("in-script trace had %d lines (err %v): %q", lines, err, stdout.String())
+	}
+	// The roundtrip histogram recorded at least one round trip.
+	var rtts int
+	for _, l := range strings.Split(stdout.String(), "\n") {
+		fmt.Sscanf(l, "roundtrip: %d", &rtts)
+	}
+	if rtts == 0 {
+		t.Fatalf("roundtrip histogram empty: %q", stdout.String())
+	}
+	// The exit dump decodes requests, replies and events with sequence
+	// numbers and opcode names.
+	dump := stderr.String()
+	for _, want := range []string{"-> req ", "<- rep ", "<- evt ", "<- setup ", "CreateWindow", "MapWindow"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("exit trace missing %q:\n%s", want, dump)
+		}
+	}
+	// Every line is sequence-numbered.
+	for _, line := range strings.Split(strings.TrimSpace(dump), "\n") {
+		var seq int
+		if _, err := fmt.Sscanf(line, "%d ", &seq); err != nil || seq == 0 {
+			t.Fatalf("unnumbered trace line %q", line)
+		}
+	}
+}
+
+// TestTclshTraceFlag: the Tcl-level counterpart — every command
+// invocation is logged and dumped at exit.
+func TestTclshTraceFlag(t *testing.T) {
+	_, xsimd := binaries(t)
+	tclsh := filepath.Join(filepath.Dir(xsimd), "tclsh")
+	dir := t.TempDir()
+	script := filepath.Join(dir, "s.tcl")
+	if err := os.WriteFile(script, []byte(`
+		set x 21
+		puts "got [expr $x * 2]"
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(tclsh, "-trace", script)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("tclsh -trace: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "got 42") {
+		t.Fatalf("script output = %q", stdout.String())
+	}
+	for _, want := range []string{"set x 21", "puts got 42"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Fatalf("command trace missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
 // TestTclshScript exercises the plain Tcl shell.
 func TestTclshScript(t *testing.T) {
 	_, xsimd := binaries(t)

@@ -9,8 +9,10 @@ package core
 
 import (
 	"fmt"
+	"net"
 	"os"
 
+	"repro/internal/obs/xtrace"
 	"repro/internal/tcl"
 	"repro/internal/tk"
 	"repro/internal/widget"
@@ -18,6 +20,11 @@ import (
 	"repro/internal/xproto"
 	"repro/internal/xserver"
 )
+
+// traceDepth is how many decoded protocol lines a -trace tracer
+// retains: enough for a whole interactive session's recent history
+// without unbounded growth.
+const traceDepth = 4096
 
 // Options configures NewApp.
 type Options struct {
@@ -30,6 +37,10 @@ type Options struct {
 	ScreenWidth, ScreenHeight int
 	// Interp optionally supplies an existing interpreter.
 	Interp *tcl.Interp
+	// Trace taps a wire tracer into the display connection (wish
+	// -trace); the trace is readable via App.Tracer and the tkstats
+	// Tcl command.
+	Trace bool
 }
 
 // App is a complete Tk application plus the infrastructure it runs on.
@@ -52,24 +63,34 @@ func NewApp(opts Options) (*App, error) {
 		opts.ScreenHeight = 768
 	}
 	var (
-		d   *xclient.Display
-		srv *xserver.Server
-		err error
+		conn net.Conn
+		srv  *xserver.Server
+		err  error
 	)
 	if opts.Display != "" {
-		d, err = xclient.Dial(opts.Display)
+		conn, err = net.Dial("tcp", opts.Display)
 		if err != nil {
 			return nil, fmt.Errorf("cannot connect to display %q: %w", opts.Display, err)
 		}
 	} else {
 		srv = xserver.New(opts.ScreenWidth, opts.ScreenHeight)
-		d, err = xclient.Open(srv.ConnectPipe())
-		if err != nil {
-			srv.Close()
-			return nil, err
-		}
+		conn = srv.ConnectPipe()
 	}
-	tkApp, err := tk.NewApp(d, tk.Config{Name: opts.Name, Interp: opts.Interp})
+	// The tracer taps the raw connection, below xclient, so it sees the
+	// exact bytes that would cross a process boundary.
+	var tracer *xtrace.Tracer
+	if opts.Trace {
+		tracer = xtrace.New(traceDepth)
+		conn = tracer.Tap(conn)
+	}
+	d, err := xclient.Open(conn)
+	if err != nil {
+		if srv != nil {
+			srv.Close()
+		}
+		return nil, err
+	}
+	tkApp, err := tk.NewApp(d, tk.Config{Name: opts.Name, Interp: opts.Interp, Trace: tracer})
 	if err != nil {
 		d.Close()
 		if srv != nil {

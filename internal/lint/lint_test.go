@@ -81,12 +81,13 @@ func TestLocksFixture(t *testing.T) {
 }
 
 // TestOpcodesFixture exercises opcode completeness: OpOrphan is missing
-// from both the factory and the dispatch switch, while OpPing/OpEcho
-// are covered.
+// from the factory, the dispatch switch and the opNames table, while
+// OpPing/OpEcho are covered everywhere.
 func TestOpcodesFixture(t *testing.T) {
 	assertDiags(t, checkFixture(t, filepath.Join("testdata", "opcodes")), []string{
-		`testdata/opcodes/opcodes.go:8:2: opcode OpOrphan has no case in the NewRequest factory [opcodes]`,
-		`testdata/opcodes/opcodes.go:8:2: opcode OpOrphan has no *OrphanReq dispatch arm in any request type switch [opcodes]`,
+		`testdata/opcodes/opcodes.go:9:2: opcode OpOrphan has no case in the NewRequest factory [opcodes]`,
+		`testdata/opcodes/opcodes.go:9:2: opcode OpOrphan has no *OrphanReq dispatch arm in any request type switch [opcodes]`,
+		`testdata/opcodes/opcodes.go:9:2: opcode OpOrphan has no entry in the opNames table (OpName would fall back to a number) [opcodes]`,
 	})
 }
 

@@ -363,10 +363,18 @@ func (a *lockAnalyzer) expr(e ast.Expr, held map[string]bool) {
 	}
 }
 
-// lockCall recognizes recv.<mutex>.Lock() / Unlock() calls.
+// lockCall recognizes recv.<mutex>.Lock() / Unlock() calls, and their
+// RWMutex read-side forms RLock() / RUnlock(): for this analysis a read
+// lock counts as holding the mutex (it protects reads of guarded
+// fields, which is all the analyzer distinguishes).
 func (a *lockAnalyzer) lockCall(call *ast.CallExpr) (mutex string, isLock, ok bool) {
 	sel, selOK := call.Fun.(*ast.SelectorExpr)
-	if !selOK || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
+	if !selOK {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
 		return "", false, false
 	}
 	inner, innerOK := sel.X.(*ast.SelectorExpr)
@@ -377,5 +385,5 @@ func (a *lockAnalyzer) lockCall(call *ast.CallExpr) (mutex string, isLock, ok bo
 	if !idOK || id.Name != a.recv {
 		return "", false, false
 	}
-	return inner.Sel.Name, sel.Sel.Name == "Lock", true
+	return inner.Sel.Name, sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock", true
 }

@@ -33,6 +33,11 @@ type OpcodeFacts struct {
 	// request type switches; dispatchSeen records whether one was found.
 	dispatchTypes map[string]bool
 	dispatchSeen  bool
+	// nameEntries is the set of Op<Name> constants keyed in an opNames
+	// table (the OpName lookup used by traces and per-opcode metrics);
+	// namesSeen records whether such a table was found.
+	nameEntries map[string]bool
+	namesSeen   bool
 }
 
 func NewOpcodeFacts() *OpcodeFacts {
@@ -40,6 +45,7 @@ func NewOpcodeFacts() *OpcodeFacts {
 		ops:           make(map[string]token.Position),
 		factoryCases:  make(map[string]bool),
 		dispatchTypes: make(map[string]bool),
+		nameEntries:   make(map[string]bool),
 	}
 }
 
@@ -49,19 +55,21 @@ func (o *OpcodeFacts) Collect(fset *token.FileSet, f *ast.File) {
 	for _, decl := range f.Decls {
 		switch d := decl.(type) {
 		case *ast.GenDecl:
-			if d.Tok != token.CONST {
-				continue
-			}
-			for _, s := range d.Specs {
-				vs, ok := s.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				for _, name := range vs.Names {
-					if opConstRe.MatchString(name.Name) {
-						o.ops[name.Name] = fset.Position(name.Pos())
+			switch d.Tok {
+			case token.CONST:
+				for _, s := range d.Specs {
+					vs, ok := s.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if opConstRe.MatchString(name.Name) {
+							o.ops[name.Name] = fset.Position(name.Pos())
+						}
 					}
 				}
+			case token.VAR:
+				o.collectNames(d)
 			}
 		case *ast.FuncDecl:
 			if d.Body == nil {
@@ -95,6 +103,37 @@ func (o *OpcodeFacts) collectFactory(body *ast.BlockStmt) {
 		}
 		return true
 	})
+}
+
+// collectNames records the Op<Name> keys of an opNames table variable:
+// the map behind OpName(), which traces and per-opcode metrics rely on
+// for human-readable opcode names.
+func (o *OpcodeFacts) collectNames(d *ast.GenDecl) {
+	for _, s := range d.Specs {
+		vs, ok := s.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if name.Name != "opNames" || i >= len(vs.Values) {
+				continue
+			}
+			lit, ok := vs.Values[i].(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			o.namesSeen = true
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if n := opName(kv.Key); n != "" {
+					o.nameEntries[n] = true
+				}
+			}
+		}
+	}
 }
 
 // collectDispatch records case types from type switches that dispatch
@@ -145,6 +184,12 @@ func (o *OpcodeFacts) Diags() []Diag {
 			diags = append(diags, Diag{
 				File: pos.Filename, Line: pos.Line, Col: pos.Column, Rule: "opcodes",
 				Msg: fmt.Sprintf("opcode %s has no *%s dispatch arm in any request type switch", name, reqType),
+			})
+		}
+		if o.namesSeen && !o.nameEntries[name] {
+			diags = append(diags, Diag{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column, Rule: "opcodes",
+				Msg: fmt.Sprintf("opcode %s has no entry in the opNames table (OpName would fall back to a number)", name),
 			})
 		}
 	}

@@ -1,5 +1,6 @@
 // Package opcodes is a fixture for the opcode-completeness analyzer:
-// OpOrphan has neither a NewRequest case nor a dispatch arm.
+// OpOrphan has neither a NewRequest case, a dispatch arm, nor an
+// opNames entry.
 package opcodes
 
 const (
@@ -7,6 +8,14 @@ const (
 	OpEcho   uint16 = 2
 	OpOrphan uint16 = 3
 )
+
+// opNames is the name table the analyzer cross-checks.
+var opNames = map[uint16]string{
+	OpPing: "Ping",
+	OpEcho: "Echo",
+}
+
+var _ = opNames
 
 type PingReq struct{}
 type EchoReq struct{}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of logarithmic histogram buckets. Bucket 0
+// holds non-positive observations; bucket i (i ≥ 1) holds values v with
+// 2^(i-1) ≤ v < 2^i nanoseconds, so the buckets span sub-nanosecond to
+// ~292 years with a worst-case quantile error of 2×.
+const NumBuckets = 64
+
+// Histogram is a log-bucketed latency histogram safe for concurrent
+// observation: all state is atomic, so recording costs a few atomic
+// adds and never takes a lock.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketIndex maps an observation in nanoseconds to its bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v)) // v in [2^(i-1), 2^i)
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBounds returns bucket i's half-open range [lo, hi).
+func BucketBounds(i int) (lo, hi int64) {
+	if i <= 0 {
+		return math.MinInt64, 1
+	}
+	if i >= NumBuckets-1 {
+		return 1 << (NumBuckets - 2), math.MaxInt64
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// ObserveNs records one observation in nanoseconds.
+func (h *Histogram) ObserveNs(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, from which
+// quantiles are estimated.
+type HistogramSnapshot struct {
+	Count    uint64
+	Sum      int64
+	Min, Max int64
+	Buckets  [NumBuckets]uint64
+}
+
+// Snapshot copies the histogram state. Concurrent observers may land
+// between the field reads; the snapshot is still internally coherent
+// enough for quantile estimation (each bucket count is exact at its
+// read instant).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count == 0 {
+		s.Min = 0
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) in nanoseconds: the
+// upper bound of the bucket holding the rank-q observation, clamped to
+// the observed [Min, Max]. The estimate therefore never understates by
+// more than 2× and never exceeds the true maximum.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			_, hi := BucketBounds(i)
+			est := hi
+			if est > s.Max {
+				est = s.Max
+			}
+			if est < s.Min {
+				est = s.Min
+			}
+			return est
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean in nanoseconds.
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / int64(s.Count)
+}

@@ -1,0 +1,190 @@
+// Package obs is the observability substrate for the reproduction: a
+// dependency-free metrics layer (atomic counters, gauges, log-bucketed
+// latency histograms) behind a named registry, plus a bounded ring
+// buffer used by the wire tracer (internal/obs/xtrace).
+//
+// The paper's quantitative claims — resource caching cuts server
+// traffic (§3.3), send costs a fixed number of protocol hops (§6/§5) —
+// were originally checked against a handful of ad-hoc counters. The
+// registry replaces those with named, queryable metrics that every
+// layer (xserver, xclient, tk) records into, and that the Tcl-level
+// tkstats command exposes to scripts, so measurement itself is
+// scriptable.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic level (queue depths, occupancy).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a named set of metrics. All methods are safe for
+// concurrent use; metric accessors get-or-create, so instrumentation
+// sites never need registration boilerplate.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter   // guarded by mu (the map; values are atomic)
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram()
+	r.hists[name] = h
+	return h
+}
+
+// FindHistogram returns the named histogram without creating it.
+func (r *Registry) FindHistogram(name string) (*Histogram, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.hists[name]
+	return h, ok
+}
+
+// Counters snapshots every counter value, keyed by name.
+func (r *Registry) Counters() map[string]uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]uint64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Gauges snapshots every gauge value, keyed by name.
+func (r *Registry) Gauges() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Histograms snapshots every histogram, keyed by name.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset zeroes every metric, keeping the registered names alive (the
+// *Counter/*Gauge/*Histogram pointers instrumentation sites hold stay
+// valid).
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import "sync"
+
+// Entry is one line in a Ring, tagged with its global sequence number
+// (1-based, never reset by wraparound).
+type Entry struct {
+	Seq  uint64
+	Text string
+}
+
+// Ring is a bounded, concurrency-safe ring buffer of text lines. The
+// wire tracer appends a decoded line per protocol message; when the
+// buffer is full the oldest lines are overwritten, so a long-running
+// application keeps the most recent window of traffic.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Entry // guarded by mu; fixed capacity
+	next int     // guarded by mu; index of the next write
+	size int     // guarded by mu; number of valid entries
+	seq  uint64  // guarded by mu; total appends ever
+}
+
+// NewRing returns a ring holding at most capacity lines (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Entry, capacity)}
+}
+
+// Append adds a line, overwriting the oldest if full, and returns its
+// sequence number.
+func (r *Ring) Append(text string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	r.buf[r.next] = Entry{Seq: r.seq, Text: text}
+	r.next = (r.next + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+	return r.seq
+}
+
+// Last returns the most recent n entries in chronological order (all
+// retained entries if n ≤ 0 or n exceeds the retained count).
+func (r *Ring) Last(n int) []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > r.size {
+		n = r.size
+	}
+	out := make([]Entry, n)
+	start := r.next - n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Len reports how many entries are currently retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Total reports how many entries were ever appended.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Reset discards all entries and restarts sequence numbering.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next, r.size, r.seq = 0, 0, 0
+}

@@ -1,0 +1,147 @@
+package xtrace_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/xtrace"
+	"repro/internal/xclient"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTraceGolden scripts a deterministic request/reply/event sequence
+// through a tapped connection and compares the decoded trace against a
+// golden file. Each step ends in a round trip, so the wire order — and
+// therefore the trace — is fully determined.
+func TestTraceGolden(t *testing.T) {
+	srv := xserver.New(200, 150)
+	defer srv.Close()
+	tr := xtrace.New(64)
+	d, err := xclient.Open(tr.Tap(srv.ConnectPipe()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// One async request with an event consequence, then a round trip.
+	// The MapNotify event is emitted by the server while handling
+	// MapWindow, so it precedes the Ping reply on the wire.
+	w := d.CreateWindow(d.Root, 10, 20, 30, 40, 0, xclient.WindowAttributes{
+		EventMask: xproto.StructureNotifyMask,
+	})
+	d.MapWindow(w)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// A request with a reply of its own.
+	if _, err := d.InternAtom("XTRACE_TEST"); err != nil {
+		t.Fatal(err)
+	}
+	// A protocol error: QueryTree on a bogus window.
+	if _, err := d.QueryTree(xproto.ID(999)); err == nil {
+		t.Fatal("expected x error for bogus window")
+	}
+
+	got := strings.Join(tr.Dump(0), "\n") + "\n"
+	golden := filepath.Join("testdata", "trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("trace mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestTraceCoverageAndReset spot-checks the line kinds the golden file
+// relies on and that Reset clears the ring but keeps reply matching
+// coherent.
+func TestTraceCoverageAndReset(t *testing.T) {
+	srv := xserver.New(100, 100)
+	defer srv.Close()
+	tr := xtrace.New(8)
+	d, err := xclient.Open(tr.Tap(srv.ConnectPipe()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	w := d.CreateWindow(d.Root, 0, 0, 10, 10, 0, xclient.WindowAttributes{
+		EventMask: xproto.StructureNotifyMask,
+	})
+	d.MapWindow(w)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var haveReq, haveRep, haveEvt bool
+	for _, e := range tr.Last(0) {
+		switch {
+		case strings.HasPrefix(e.Text, "-> req "):
+			haveReq = true
+		case strings.HasPrefix(e.Text, "<- rep "):
+			haveRep = true
+		case strings.HasPrefix(e.Text, "<- evt "):
+			haveEvt = true
+		}
+	}
+	if !haveReq || !haveRep || !haveEvt {
+		t.Fatalf("trace missing kinds: req=%v rep=%v evt=%v\n%s",
+			haveReq, haveRep, haveEvt, strings.Join(tr.Dump(0), "\n"))
+	}
+
+	tr.Reset()
+	if tr.Total() != 0 || len(tr.Last(0)) != 0 {
+		t.Fatal("Reset left lines behind")
+	}
+	// Reply matching still works across a Reset: a post-Reset round
+	// trip is decoded with its opcode name.
+	if _, err := d.InternAtom("AFTER_RESET"); err != nil {
+		t.Fatal(err)
+	}
+	dump := strings.Join(tr.Dump(0), "\n")
+	if !strings.Contains(dump, "InternAtom") || !strings.Contains(dump, "<- rep ") {
+		t.Fatalf("post-reset trace = %s", dump)
+	}
+}
+
+// TestTraceRingBounded: with a tiny ring, only the most recent lines
+// survive and sequence numbers keep counting.
+func TestTraceRingBounded(t *testing.T) {
+	srv := xserver.New(100, 100)
+	defer srv.Close()
+	tr := xtrace.New(4)
+	d, err := xclient.Open(tr.Tap(srv.ConnectPipe()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 20; i++ {
+		if err := d.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := tr.Last(0)
+	if len(lines) != 4 {
+		t.Fatalf("retained %d lines, want 4", len(lines))
+	}
+	if tr.Total() < 20 {
+		t.Fatalf("total = %d, want ≥ 20", tr.Total())
+	}
+	if lines[3].Seq != tr.Total() {
+		t.Fatalf("newest seq %d != total %d", lines[3].Seq, tr.Total())
+	}
+}

@@ -144,6 +144,11 @@ type Interp struct {
 	// that exit tears down windows first). When nil, exit calls os.Exit.
 	ExitHandler func(code int)
 
+	// Trace, when set, observes every command invocation with its fully
+	// substituted words, before execution (tclsh -trace uses it to log
+	// command history).
+	Trace func(words []string)
+
 	// maxNesting bounds recursive evaluation depth.
 	maxNesting int
 	nesting    int
@@ -270,6 +275,9 @@ func (in *Interp) EvalWords(words []string) (string, error) {
 
 // invoke dispatches one fully substituted command.
 func (in *Interp) invoke(words []string) (string, error) {
+	if in.Trace != nil {
+		in.Trace(words)
+	}
 	cmd, ok := in.cmds[words[0]]
 	if !ok {
 		return "", errf("invalid command name %q", words[0])

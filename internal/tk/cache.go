@@ -19,8 +19,10 @@ import (
 func (app *App) Color(name string) (uint32, error) {
 	key := strings.ToLower(name)
 	if px, ok := app.colorCache[key]; ok {
+		app.Metrics().Counter("tk.cache.color.hits").Inc()
 		return px, nil
 	}
+	app.Metrics().Counter("tk.cache.color.misses").Inc()
 	px, found, err := app.Disp.AllocNamedColor(name)
 	if err != nil {
 		return 0, err
@@ -48,8 +50,10 @@ func (app *App) NameOfColor(pixel uint32) string {
 // later uses (and all text measurement) cost no server traffic.
 func (app *App) FontByName(name string) (*xclient.Font, error) {
 	if f, ok := app.fontCache[name]; ok {
+		app.Metrics().Counter("tk.cache.font.hits").Inc()
 		return f, nil
 	}
+	app.Metrics().Counter("tk.cache.font.misses").Inc()
 	f, err := app.Disp.OpenFont(name)
 	if err != nil {
 		return nil, fmt.Errorf("unknown font name %q: %v", name, err)
@@ -62,8 +66,10 @@ func (app *App) FontByName(name string) (*xclient.Font, error) {
 // resource, caching it.
 func (app *App) Cursor(name string) (xproto.ID, error) {
 	if c, ok := app.cursorCache[name]; ok {
+		app.Metrics().Counter("tk.cache.cursor.hits").Inc()
 		return c, nil
 	}
+	app.Metrics().Counter("tk.cache.cursor.misses").Inc()
 	c := app.Disp.CreateCursor(name)
 	app.cursorCache[name] = c
 	return c, nil
@@ -128,8 +134,10 @@ func bitmapFromRows(name string, rows []string) *Bitmap {
 // BitmapByName resolves a textual bitmap description, caching it.
 func (app *App) BitmapByName(name string) (*Bitmap, error) {
 	if b, ok := app.bitmapCache[name]; ok {
+		app.Metrics().Counter("tk.cache.bitmap.hits").Inc()
 		return b, nil
 	}
+	app.Metrics().Counter("tk.cache.bitmap.misses").Inc()
 	if mk, ok := builtinBitmaps[name]; ok {
 		b := mk()
 		app.bitmapCache[name] = b
@@ -144,8 +152,10 @@ func (app *App) BitmapByName(name string) (*Bitmap, error) {
 func (app *App) GC(fg, bg uint32, lineWidth int, font xproto.ID) xproto.ID {
 	key := gcKey{fg: fg, bg: bg, lineWidth: lineWidth, font: font}
 	if gc, ok := app.gcCache[key]; ok {
+		app.Metrics().Counter("tk.cache.gc.hits").Inc()
 		return gc
 	}
+	app.Metrics().Counter("tk.cache.gc.misses").Inc()
 	gc := app.Disp.CreateGC(xclient.GCValues{
 		Mask: xproto.GCForeground | xproto.GCBackground |
 			xproto.GCLineWidth | xproto.GCFont,

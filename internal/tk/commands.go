@@ -34,7 +34,8 @@ func (app *App) commandTable() map[string]tcl.CmdFunc {
 			app.Disp.Bell()
 			return "", nil
 		},
-		"tkwait": app.cmdTkwait,
+		"tkwait":  app.cmdTkwait,
+		"tkstats": app.cmdTkstats,
 	}
 }
 

@@ -57,6 +57,7 @@ func (app *App) CreateTimerHandler(d time.Duration, fn func()) int {
 	e := &timerEntry{when: time.Now().Add(d), fn: fn, id: q.nextID, seq: q.nextSeq}
 	q.byID[e.id] = e
 	heap.Push(q, e)
+	app.Metrics().Gauge("tk.timers.depth").Set(int64(len(q.byID)))
 	return e.id
 }
 
@@ -65,6 +66,7 @@ func (app *App) DeleteTimerHandler(id int) {
 	if e, ok := app.timers.byID[id]; ok {
 		e.fn = nil // cancelled; skipped when popped
 		delete(app.timers.byID, id)
+		app.Metrics().Gauge("tk.timers.depth").Set(int64(len(app.timers.byID)))
 	}
 }
 
@@ -72,6 +74,7 @@ func (app *App) DeleteTimerHandler(id int) {
 // when-idle handlers).
 func (app *App) DoWhenIdle(fn func()) {
 	app.idle = append(app.idle, fn)
+	app.Metrics().Gauge("tk.idle.depth").Set(int64(len(app.idle)))
 }
 
 // Post delivers fn into the event loop from any goroutine: the toolkit's
@@ -112,6 +115,9 @@ func (app *App) runDueTimers() bool {
 			ran = true
 		}
 	}
+	if ran {
+		app.Metrics().Gauge("tk.timers.depth").Set(int64(len(q.byID)))
+	}
 	return ran
 }
 
@@ -123,8 +129,9 @@ func (app *App) runIdle() bool {
 	}
 	batch := app.idle
 	app.idle = nil
+	app.Metrics().Gauge("tk.idle.depth").Set(0)
 	for _, fn := range batch {
-		fn()
+		fn() // may call DoWhenIdle, which updates the gauge again
 	}
 	return true
 }
@@ -258,6 +265,10 @@ func (app *App) UpdateIdleTasks() {
 // DispatchEvent routes one X event: structure bookkeeping, C-level
 // handlers, then Tcl bindings.
 func (app *App) DispatchEvent(ev *xproto.Event) {
+	m := app.Metrics()
+	m.Counter("tk.events").Inc()
+	begin := time.Now()
+	defer func() { m.Histogram("tk.dispatch").Observe(time.Since(begin)) }()
 	w, ok := app.xidMap[ev.Window]
 	if !ok {
 		// Events for the comm window drive the send protocol.

@@ -153,10 +153,14 @@ func (app *App) Send(target, script string) (string, error) {
 	// Pump events until the result arrives: the target may send us
 	// commands of its own in the meantime (reentrancy), and we must keep
 	// servicing them to avoid deadlock.
-	deadline := time.Now().Add(sendTimeout)
+	begin := time.Now()
+	deadline := begin.Add(sendTimeout)
 	for {
 		if res, ok := app.sendResults[serial]; ok {
 			delete(app.sendResults, serial)
+			// The histogram records only completed RPCs (success or
+			// remote error), not timeouts.
+			app.Metrics().Histogram("tk.send").Observe(time.Since(begin))
 			if res.code != 0 {
 				return "", &tcl.Error{Code: tcl.ErrorStatus, Msg: res.result}
 			}

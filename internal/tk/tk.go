@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/obs"
+	"repro/internal/obs/xtrace"
 	"repro/internal/tcl"
 	"repro/internal/xclient"
 	"repro/internal/xproto"
@@ -120,6 +122,11 @@ type App struct {
 	Name   string // registered application name (send target)
 	Main   *Window
 
+	// Tracer, when non-nil, is the wire tracer tapped into this
+	// application's display connection (wish -trace); the tkstats
+	// command exposes it.
+	Tracer *xtrace.Tracer
+
 	windows map[string]*Window
 	xidMap  map[xproto.ID]*Window
 
@@ -188,6 +195,9 @@ type Config struct {
 	// Interp may be supplied to share an existing interpreter; otherwise
 	// a new one is created.
 	Interp *tcl.Interp
+	// Trace, if non-nil, is a wire tracer already tapped into the
+	// display connection; it becomes App.Tracer so tkstats can reach it.
+	Trace *xtrace.Tracer
 }
 
 // NewApp creates a Tk application over an open display connection,
@@ -207,6 +217,7 @@ func NewApp(d *xclient.Display, cfg Config) (*App, error) {
 	app := &App{
 		Interp:      in,
 		Disp:        d,
+		Tracer:      cfg.Trace,
 		windows:     make(map[string]*Window, 32),
 		xidMap:      make(map[xproto.ID]*Window, 32),
 		bindings:    newBindingTable(),
@@ -270,6 +281,14 @@ func (app *App) selectStructure(w *Window) {
 	w.selectedMask |= xproto.StructureNotifyMask | xproto.ExposureMask
 	app.Disp.SelectInput(w.XID, w.selectedMask)
 }
+
+// Metrics returns the application's metrics registry. It is the
+// display connection's registry, so protocol counters ("requests",
+// "requests.<OpName>", "roundtrips", the "roundtrip" histogram) and
+// toolkit metrics ("tk.events", "tk.dispatch", cache hit/miss
+// counters, queue-depth gauges) share one namespace — what the
+// tkstats command reports.
+func (app *App) Metrics() *obs.Registry { return app.Disp.Metrics() }
 
 // Quit asks the event loop to exit.
 func (app *App) Quit() { app.quitFlag.Store(true) }

@@ -368,17 +368,22 @@ func TestOptionReadString(t *testing.T) {
 
 func TestResourceCacheReducesTraffic(t *testing.T) {
 	app, _ := newTestApp(t)
-	before, err := app.Disp.Counters()
-	if err != nil {
-		t.Fatal(err)
-	}
-	// First lookup costs one round trip.
+	// The client-side registry reads cost no server traffic, unlike the
+	// old Counters() round trip, so the measurement no longer perturbs
+	// what it measures.
+	m := app.Metrics()
+	alloc := m.Counter("requests.AllocNamedColor")
+	rtts := m.Counter("roundtrips")
+	before, beforeRtts := alloc.Value(), rtts.Value()
+	// First lookup costs one AllocNamedColor round trip.
 	if _, err := app.Color("MediumSeaGreen"); err != nil {
 		t.Fatal(err)
 	}
-	mid, _ := app.Disp.Counters()
-	if mid.RoundTrips-before.RoundTrips != 2 { // color + counter query
-		t.Fatalf("first lookup cost %d round trips, want 2", mid.RoundTrips-before.RoundTrips)
+	if got := alloc.Value() - before; got != 1 {
+		t.Fatalf("first lookup sent %d AllocNamedColor requests, want 1", got)
+	}
+	if got := rtts.Value() - beforeRtts; got != 1 {
+		t.Fatalf("first lookup cost %d round trips, want 1", got)
 	}
 	// 100 more lookups cost nothing (§3.3).
 	for i := 0; i < 100; i++ {
@@ -386,9 +391,21 @@ func TestResourceCacheReducesTraffic(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	after, _ := app.Disp.Counters()
-	if after.RoundTrips-mid.RoundTrips != 1 { // only the counter query
-		t.Fatalf("cached lookups cost %d round trips, want 1", after.RoundTrips-mid.RoundTrips)
+	if got := alloc.Value() - before; got != 1 {
+		t.Fatalf("cached lookups sent %d AllocNamedColor requests, want 1 total", got)
+	}
+	if hits := m.Counter("tk.cache.color.hits").Value(); hits < 100 {
+		t.Fatalf("color cache hits = %d, want ≥ 100", hits)
+	}
+	// The wire-level Counters() shim still works and agrees on the
+	// round-trip count (+1 for its own query).
+	rep, err := app.Disp.Counters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RoundTrips != rtts.Value()-1 {
+		t.Fatalf("server sees %d round trips, client registry %d (want server = client-1)",
+			rep.RoundTrips, rtts.Value())
 	}
 	// Reverse mapping: given the pixel, Tk returns the textual name.
 	px, _ := app.Color("MediumSeaGreen")

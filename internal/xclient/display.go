@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xproto"
 )
 
@@ -49,6 +51,13 @@ type Display struct {
 
 	readerDone chan struct{}
 	stop       chan struct{} // closed by Close; releases the feeder
+
+	// metrics records client-side traffic: "requests" and per-opcode
+	// "requests.<OpName>" counters for everything sent, "async" for
+	// one-way requests, "roundtrips" and the "roundtrip" latency
+	// histogram for blocking ones, "events" for deliveries. The pointer
+	// is immutable after Open; the registry is safe for concurrent use.
+	metrics *obs.Registry
 }
 
 type serverMsg struct {
@@ -67,6 +76,7 @@ func Open(conn net.Conn) (*Display, error) {
 		events:     make(chan xproto.Event, eventChanSize),
 		readerDone: make(chan struct{}),
 		stop:       make(chan struct{}),
+		metrics:    obs.NewRegistry(),
 	}
 	d.evCond = sync.NewCond(&d.evMu)
 	// The setup block arrives before anything else.
@@ -147,6 +157,7 @@ func (d *Display) readLoop() {
 		}
 		switch kind {
 		case xproto.KindEvent:
+			d.metrics.Counter("events").Inc()
 			var ev xproto.Event
 			ev.Decode(xproto.NewReader(payload))
 			d.evMu.Lock()
@@ -229,8 +240,14 @@ func (d *Display) TakeErrors() []string {
 	return errs
 }
 
+// Metrics returns the client-side registry (see the field doc for the
+// metric names).
+func (d *Display) Metrics() *obs.Registry { return d.metrics }
+
 // send buffers a request. Must be called with d.mu held.
 func (d *Display) send(req xproto.Request) uint64 {
+	d.metrics.Counter("requests").Inc()
+	d.metrics.Counter("requests." + xproto.OpName(req.Op())).Inc()
 	w := xproto.NewWriter()
 	req.Encode(w)
 	payload := w.Bytes()
@@ -265,6 +282,7 @@ func (d *Display) Request(req xproto.Request) {
 	if d.closed {
 		return
 	}
+	d.metrics.Counter("async").Inc()
 	d.send(req)
 	// Keep the buffer bounded even without explicit flushes.
 	if len(d.wbuf) >= 32<<10 {
@@ -287,6 +305,8 @@ func (d *Display) RoundTrip(req xproto.Request, decode func(r *xproto.Reader)) e
 	if d.closed {
 		return fmt.Errorf("xclient: display closed")
 	}
+	d.metrics.Counter("roundtrips").Inc()
+	begin := time.Now()
 	seq := d.send(req)
 	if err := d.flushLocked(); err != nil {
 		return err
@@ -301,6 +321,7 @@ func (d *Display) RoundTrip(req xproto.Request, decode func(r *xproto.Reader)) e
 		if msg.kind == xproto.KindError {
 			text := r.String()
 			if gotSeq == seq {
+				d.metrics.Histogram("roundtrip").Observe(time.Since(begin))
 				return fmt.Errorf("x error: %s", text)
 			}
 			d.asyncError(text)
@@ -312,6 +333,10 @@ func (d *Display) RoundTrip(req xproto.Request, decode func(r *xproto.Reader)) e
 			d.asyncError(fmt.Sprintf("unexpected reply seq %d (want %d)", gotSeq, seq))
 			continue
 		}
+		// The histogram records flush→answer wall time, so it includes
+		// the server's simulated IPC latency — the quantity §3.3's
+		// caches exist to avoid paying.
+		d.metrics.Histogram("roundtrip").Observe(time.Since(begin))
 		if decode != nil {
 			decode(r)
 		}

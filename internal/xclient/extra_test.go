@@ -146,11 +146,32 @@ func TestDrawingPrimitiveWrappers(t *testing.T) {
 func TestServerStatsCounter(t *testing.T) {
 	srv, d := newPair(t)
 	before := srv.Stats()
+	bellsBefore := srv.Metrics().Counter("requests.Bell").Value()
 	for i := 0; i < 10; i++ {
 		d.Bell()
 	}
 	d.Sync()
+	// Stats() is a shim over the registry's "requests" counter.
 	if srv.Stats()-before < 10 {
 		t.Fatalf("server stats grew by %d", srv.Stats()-before)
+	}
+	if srv.Stats() != srv.Metrics().Counter("requests").Value() {
+		t.Fatal("Stats() disagrees with the requests counter it shims")
+	}
+	// The registry also breaks traffic down per opcode.
+	if got := srv.Metrics().Counter("requests.Bell").Value() - bellsBefore; got != 10 {
+		t.Fatalf("server counted %d Bell requests, want 10", got)
+	}
+	// The client saw the same traffic from its side.
+	if got := d.Metrics().Counter("requests.Bell").Value(); got < 10 {
+		t.Fatalf("client counted %d Bell requests, want ≥ 10", got)
+	}
+	// Dispatch service times were recorded for every request. The
+	// histogram is observed after the reply is enqueued, so the very
+	// last request's observation may still be in flight.
+	reqs := srv.Stats()
+	h := srv.Metrics().Histograms()["dispatch"]
+	if h.Count < reqs-1 || h.Count > reqs {
+		t.Fatalf("dispatch histogram count %d, want %d or %d", h.Count, reqs-1, reqs)
 	}
 }

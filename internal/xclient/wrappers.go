@@ -446,7 +446,9 @@ func (d *Display) SetLatency(micros int) {
 }
 
 // Counters fetches this connection's protocol traffic counters (a round
-// trip).
+// trip). The server answers from its per-connection obs registry; the
+// client-side view of the same traffic is available without a round
+// trip via Metrics().
 func (d *Display) Counters() (xproto.CountersReply, error) {
 	var rep xproto.CountersReply
 	err := d.RoundTrip(&xproto.QueryCountersReq{}, func(r *xproto.Reader) { rep.Decode(r) })

@@ -174,7 +174,11 @@ func (s *Server) handle(c *conn, req xproto.Request) {
 	case *xproto.SetLatencyReq:
 		s.latency.Store(int64(q.Micros) * 1000)
 	case *xproto.QueryCountersReq:
-		rep := &xproto.CountersReply{Requests: c.reqs, RoundTrips: c.rtts, EventsSent: c.events}
+		rep := &xproto.CountersReply{
+			Requests:   c.metrics.Counter("requests").Value(),
+			RoundTrips: c.metrics.Counter("roundtrips").Value(),
+			EventsSent: c.metrics.Counter("events").Value(),
+		}
 		c.reply(func(w *xproto.Writer) { rep.Encode(w) })
 	default:
 		c.protoError("unhandled request %T", req)

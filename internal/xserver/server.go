@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xproto"
 )
 
@@ -59,9 +60,11 @@ type Server struct {
 	listener net.Listener   // guarded by mu
 	closed   bool           // guarded by mu
 
-	// TotalRequests counts requests across all connections (read with
-	// Stats).
-	totalRequests atomic.Uint64
+	// metrics aggregates across all connections: "requests",
+	// per-opcode "requests.<OpName>" counters, and the "dispatch"
+	// service-time histogram. The pointer is immutable after New; the
+	// registry itself is safe for concurrent use.
+	metrics *obs.Registry
 }
 
 // gcontext is a server-side graphics context.
@@ -106,16 +109,18 @@ type window struct {
 
 // conn is one client connection.
 type conn struct {
-	s       *Server
-	rw      net.Conn
-	out     chan []byte
-	done    chan struct{}
-	seq     uint64
-	reqs    uint64
-	rtts    uint64
-	events  uint64
-	dropped uint64
-	once    sync.Once
+	s    *Server
+	rw   net.Conn
+	out  chan []byte
+	done chan struct{}
+	seq  uint64
+	once sync.Once
+
+	// metrics holds this connection's view of the same counter and
+	// histogram names the server registry aggregates, plus
+	// "roundtrips", "events" and "dropped". QueryCounters answers from
+	// it. The pointer is immutable after ServeConn creates it.
+	metrics *obs.Registry
 }
 
 // New creates a server with the given screen size.
@@ -132,6 +137,7 @@ func New(width, height int) *Server {
 		atomNames:  make(map[xproto.Atom]string),
 		selections: make(map[xproto.Atom]*selection),
 		conns:      make(map[*conn]bool),
+		metrics:    obs.NewRegistry(),
 		start:      time.Now(),
 		nextIDBase: 0x00200000,
 		nextAtom:   100,
@@ -163,8 +169,17 @@ func (s *Server) Root() xproto.ID { return 1 }
 // SetLatency sets the simulated IPC latency applied to every request.
 func (s *Server) SetLatency(d time.Duration) { s.latency.Store(int64(d)) }
 
-// Stats reports aggregate request count across all connections.
-func (s *Server) Stats() (requests uint64) { return s.totalRequests.Load() }
+// Stats reports aggregate request count across all connections. It is
+// a compatibility shim over Metrics(): the same number is the
+// "requests" counter in the registry.
+func (s *Server) Stats() (requests uint64) {
+	return s.metrics.Counter("requests").Value()
+}
+
+// Metrics returns the server-wide registry: "requests" and per-opcode
+// "requests.<OpName>" counters, and the "dispatch" histogram of
+// request service times (decode + handle, excluding simulated latency).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // now returns the server timestamp in milliseconds.
 func (s *Server) now() uint32 {
@@ -225,10 +240,11 @@ func (s *Server) Close() {
 // until it closes.
 func (s *Server) ServeConn(nc net.Conn) {
 	c := &conn{
-		s:    s,
-		rw:   nc,
-		out:  make(chan []byte, 4096),
-		done: make(chan struct{}),
+		s:       s,
+		rw:      nc,
+		out:     make(chan []byte, 4096),
+		done:    make(chan struct{}),
+		metrics: obs.NewRegistry(),
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -280,9 +296,20 @@ func (s *Server) ServeConn(nc net.Conn) {
 			time.Sleep(time.Duration(lat))
 		}
 		c.seq++
-		c.reqs++
-		s.totalRequests.Add(1)
+		// Counters are bumped before dispatch so a QueryCounters reply
+		// includes its own request; timing wraps only decode + handle,
+		// so the "dispatch" histogram measures true service time, not
+		// the simulated IPC latency above.
+		name := xproto.OpName(op)
+		s.metrics.Counter("requests").Inc()
+		s.metrics.Counter("requests." + name).Inc()
+		c.metrics.Counter("requests").Inc()
+		c.metrics.Counter("requests." + name).Inc()
+		begin := time.Now()
 		s.dispatch(c, op, payload)
+		elapsed := time.Since(begin)
+		s.metrics.Histogram("dispatch").Observe(elapsed)
+		c.metrics.Histogram("dispatch").Observe(elapsed)
 	}
 	c.close()
 	s.mu.Lock()
@@ -317,13 +344,13 @@ func (c *conn) enqueueFrame(kind byte, payload []byte, mustDeliver bool) {
 	case c.out <- buf:
 	case <-c.done:
 	default:
-		c.dropped++
+		c.metrics.Counter("dropped").Inc()
 	}
 }
 
 // reply sends a reply for the current request.
 func (c *conn) reply(encode func(w *xproto.Writer)) {
-	c.rtts++
+	c.metrics.Counter("roundtrips").Inc()
 	w := xproto.NewWriter()
 	w.PutU64(c.seq)
 	encode(w)
@@ -340,7 +367,7 @@ func (c *conn) protoError(format string, args ...any) {
 
 // sendEvent delivers an event to this connection.
 func (c *conn) sendEvent(ev *xproto.Event) {
-	c.events++
+	c.metrics.Counter("events").Inc()
 	w := xproto.NewWriter()
 	ev.Encode(w)
 	c.enqueueFrame(xproto.KindEvent, w.Bytes(), false)
