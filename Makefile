@@ -24,10 +24,11 @@ tkcheck:
 
 bench:
 	$(GO) test -bench=. -benchmem
-	OBS_BENCH=1 $(GO) test -run TestEmitObsBench -count=1 .
+	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench' -count=1 .
 
-# bench-smoke runs the metrics-path end-to-end check (and emits
-# BENCH_obs.json as a side effect): roundtrip p50 must track the
-# simulated IPC latency at two settings.
+# bench-smoke runs the metrics-path and pipelining end-to-end checks
+# (emitting BENCH_obs.json and BENCH_pipeline.json as side effects):
+# roundtrip p50 must track the simulated IPC latency, and 8 pipelined
+# round trips must beat 8 serial ones ≥ 4× under the per-segment model.
 bench-smoke:
-	OBS_BENCH=1 $(GO) test -run TestEmitObsBench -count=1 .
+	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench' -count=1 .

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	xsimd [-addr 127.0.0.1:6001] [-width 1024] [-height 768] [-latency-us N]
+//	xsimd [-addr 127.0.0.1:6001] [-width 1024] [-height 768] [-latency-us N] [-latency-model request|segment]
 package main
 
 import (
@@ -24,11 +24,22 @@ func main() {
 	width := flag.Int("width", 1024, "screen width in pixels")
 	height := flag.Int("height", 768, "screen height in pixels")
 	latency := flag.Int("latency-us", 0, "simulated per-request IPC latency in microseconds")
+	latModel := flag.String("latency-model", "request",
+		`how simulated latency is charged: "request" (per request) or "segment" (per wire read, rewarding pipelined clients)`)
 	flag.Parse()
 
 	srv := xserver.New(*width, *height)
 	if *latency > 0 {
 		srv.SetLatency(time.Duration(*latency) * time.Microsecond)
+	}
+	switch *latModel {
+	case "request":
+		srv.SetLatencyModel(xserver.LatencyPerRequest)
+	case "segment":
+		srv.SetLatencyModel(xserver.LatencyPerSegment)
+	default:
+		fmt.Fprintf(os.Stderr, "xsimd: unknown -latency-model %q (want request or segment)\n", *latModel)
+		os.Exit(2)
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {

@@ -30,15 +30,23 @@ func (app *App) Color(name string) (uint32, error) {
 	if !found {
 		return 0, fmt.Errorf("unknown color name %q", name)
 	}
-	app.colorCache[key] = px
-	if _, ok := app.colorNames[px]; !ok {
-		app.colorNames[px] = name
-	}
+	app.storeColor(key, px)
 	return px, nil
 }
 
-// NameOfColor returns the textual name under which a pixel was allocated
-// (falling back to #RRGGBB).
+// storeColor records an allocated pixel under its canonical (lowercase)
+// name in both directions. The reverse map uses the same canonical key
+// as colorCache, so NameOfColor always agrees with the cache — callers
+// may ask with any casing.
+func (app *App) storeColor(key string, px uint32) {
+	app.colorCache[key] = px
+	if _, ok := app.colorNames[px]; !ok {
+		app.colorNames[px] = key
+	}
+}
+
+// NameOfColor returns the canonical textual name under which a pixel
+// was allocated (falling back to #RRGGBB).
 func (app *App) NameOfColor(pixel uint32) string {
 	if name, ok := app.colorNames[pixel]; ok {
 		return name
@@ -169,4 +177,89 @@ func (app *App) GC(fg, bg uint32, lineWidth int, font xproto.ID) xproto.ID {
 // CacheStats reports cache occupancy, for the §3.3 experiments.
 func (app *App) CacheStats() (colors, fonts, gcs, cursors int) {
 	return len(app.colorCache), len(app.fontCache), len(app.gcCache), len(app.cursorCache)
+}
+
+// PrefetchResources issues every cache-missing allocation among the
+// given color, font and cursor names as one pipelined batch and waits
+// for all replies in a single flight. It is the §3.3 resource caches
+// meeting the XCB cookie model: a widget whose configuration needs two
+// new colors and a new font pays one round trip, not three. Names
+// already cached cost nothing; allocation failures are left for the
+// per-name accessors (Color, FontByName) to surface.
+func (app *App) PrefetchResources(colors, fonts, cursors []string) {
+	type colorFetch struct {
+		key string
+		ck  xclient.NamedColorCookie
+	}
+	type fontFetch struct {
+		name string
+		ck   xclient.FontCookie
+	}
+	var colorFetches []colorFetch
+	var fontFetches []fontFetch
+	for _, name := range colors {
+		if name == "" {
+			continue
+		}
+		key := strings.ToLower(name)
+		if _, ok := app.colorCache[key]; ok {
+			continue
+		}
+		dup := false
+		for _, f := range colorFetches {
+			if f.key == key {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		app.Metrics().Counter("tk.cache.color.misses").Inc()
+		colorFetches = append(colorFetches, colorFetch{key: key, ck: app.Disp.AllocNamedColorAsync(name)})
+	}
+	for _, name := range fonts {
+		if name == "" {
+			continue
+		}
+		if _, ok := app.fontCache[name]; ok {
+			continue
+		}
+		dup := false
+		for _, f := range fontFetches {
+			if f.name == name {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		app.Metrics().Counter("tk.cache.font.misses").Inc()
+		fontFetches = append(fontFetches, fontFetch{name: name, ck: app.Disp.OpenFontAsync(name)})
+	}
+	// Cursor creation is one-way (no reply), so it rides in the same
+	// segment for free.
+	for _, name := range cursors {
+		if name == "" {
+			continue
+		}
+		if _, ok := app.cursorCache[name]; ok {
+			continue
+		}
+		app.Metrics().Counter("tk.cache.cursor.misses").Inc()
+		app.cursorCache[name] = app.Disp.CreateCursor(name)
+	}
+	// One flush covers the whole batch; the waits then drain replies in
+	// order.
+	for _, f := range colorFetches {
+		if px, found, err := f.ck.Wait(); err == nil && found {
+			app.storeColor(f.key, px)
+		}
+	}
+	for _, f := range fontFetches {
+		if font, err := f.ck.Wait(); err == nil {
+			app.fontCache[f.name] = font
+		}
+	}
 }

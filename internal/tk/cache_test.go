@@ -1,0 +1,95 @@
+package tk
+
+import "testing"
+
+// Satellite regression: Color() used to store the reverse mapping under
+// the caller's original casing while the forward cache was keyed
+// lowercase, so NameOfColor could disagree with the cache key. Both maps
+// now share the canonical lowercase key.
+func TestColorCanonicalization(t *testing.T) {
+	app, _ := newTestApp(t)
+	misses := app.Metrics().Counter("tk.cache.color.misses")
+	before := misses.Value()
+
+	px, err := app.Color("MediumSeaGreen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := app.NameOfColor(px); got != "mediumseagreen" {
+		t.Fatalf("NameOfColor = %q, want canonical %q", got, "mediumseagreen")
+	}
+	if _, ok := app.colorCache["mediumseagreen"]; !ok {
+		t.Fatal("colorCache missing canonical key")
+	}
+	// Any casing of the same name is a cache hit, not a new allocation.
+	for _, name := range []string{"MEDIUMSEAGREEN", "mediumseagreen", "MediumSeaGreen"} {
+		px2, err := app.Color(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if px2 != px {
+			t.Fatalf("Color(%q) = %#x, want %#x", name, px2, px)
+		}
+	}
+	if got := misses.Value() - before; got != 1 {
+		t.Fatalf("color cache misses = %d, want 1", got)
+	}
+}
+
+// PrefetchResources must fill the same caches, under the same canonical
+// keys, as the per-name accessors — and make the follow-up lookups hits.
+func TestPrefetchResources(t *testing.T) {
+	app, _ := newTestApp(t)
+	colorMisses := app.Metrics().Counter("tk.cache.color.misses")
+	fontMisses := app.Metrics().Counter("tk.cache.font.misses")
+	cursorMisses := app.Metrics().Counter("tk.cache.cursor.misses")
+	cm, fm, um := colorMisses.Value(), fontMisses.Value(), cursorMisses.Value()
+
+	// Duplicate names (differing only in case, for colors) collapse to
+	// one fetch each.
+	app.PrefetchResources(
+		[]string{"SteelBlue", "steelblue", "Bisque1", ""},
+		[]string{"fixed", "fixed"},
+		[]string{"arrow", "arrow", ""},
+	)
+
+	if got := colorMisses.Value() - cm; got != 2 {
+		t.Fatalf("prefetch color misses = %d, want 2", got)
+	}
+	if got := fontMisses.Value() - fm; got != 1 {
+		t.Fatalf("prefetch font misses = %d, want 1", got)
+	}
+	if got := cursorMisses.Value() - um; got != 1 {
+		t.Fatalf("prefetch cursor misses = %d, want 1", got)
+	}
+
+	// Everything the prefetch fetched is now a hit via the accessors.
+	px, err := app.Color("STEELBLUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := app.NameOfColor(px); got != "steelblue" {
+		t.Fatalf("NameOfColor = %q, want %q", got, "steelblue")
+	}
+	if _, err := app.FontByName("fixed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Cursor("arrow"); err != nil {
+		t.Fatal(err)
+	}
+	if got := colorMisses.Value() - cm; got != 2 {
+		t.Fatalf("post-prefetch color misses = %d, want 2 (lookups should hit)", got)
+	}
+	if got := fontMisses.Value() - fm; got != 1 {
+		t.Fatalf("post-prefetch font misses = %d, want 1 (lookup should hit)", got)
+	}
+	if got := cursorMisses.Value() - um; got != 1 {
+		t.Fatalf("post-prefetch cursor misses = %d, want 1 (lookup should hit)", got)
+	}
+
+	// A second prefetch of the same names is a no-op.
+	app.PrefetchResources([]string{"SteelBlue"}, []string{"fixed"}, []string{"arrow"})
+	if got := colorMisses.Value() - cm; got != 2 {
+		t.Fatalf("re-prefetch color misses = %d, want 2", got)
+	}
+}

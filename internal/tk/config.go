@@ -84,6 +84,32 @@ func (cv *ConfigValues) ApplyDefaults(app *App, w *Window) {
 	}
 }
 
+// ResourceNames scans the current values by option-database class and
+// returns the textual color, font and cursor resources the widget will
+// resolve — the input App.PrefetchResources pipelines into one flight
+// before the widget's recompute path looks each one up in the caches.
+func (cv *ConfigValues) ResourceNames() (colors, fonts, cursors []string) {
+	for i := range cv.specs {
+		s := &cv.specs[i]
+		if s.Synonym != "" {
+			continue
+		}
+		v := cv.values[s.Name]
+		if v == "" {
+			continue
+		}
+		switch s.DBClass {
+		case "Background", "Foreground":
+			colors = append(colors, v)
+		case "Font":
+			fonts = append(fonts, v)
+		case "Cursor":
+			cursors = append(cursors, v)
+		}
+	}
+	return colors, fonts, cursors
+}
+
 // Set assigns one option by (possibly abbreviated) switch name.
 func (cv *ConfigValues) Set(name, value string) error {
 	s, err := cv.findSpec(name)

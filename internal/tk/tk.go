@@ -233,14 +233,20 @@ func NewApp(d *xclient.Display, cfg Config) (*App, error) {
 		sendResults: make(map[int]sendResult),
 	}
 
-	// Intern the toolkit's atoms (a handful of round trips, once).
+	// Intern the toolkit's atoms: all four are issued as one pipelined
+	// flight (one wire segment, one latency charge) instead of four
+	// serial round trips.
+	ckRegistry := d.InternAtomAsync("TK_INTERP_REGISTRY")
+	ckSendCmd := d.InternAtomAsync("TK_SEND_COMMAND")
+	ckSendRes := d.InternAtomAsync("TK_SEND_RESULT")
+	ckSelProp := d.InternAtomAsync("TK_SELECTION")
 	var err error
-	if app.atomRegistry, err = d.InternAtom("TK_INTERP_REGISTRY"); err != nil {
+	if app.atomRegistry, err = ckRegistry.Wait(); err != nil {
 		return nil, err
 	}
-	app.atomSendCmd, _ = d.InternAtom("TK_SEND_COMMAND")
-	app.atomSendRes, _ = d.InternAtom("TK_SEND_RESULT")
-	app.atomSelProp, _ = d.InternAtom("TK_SELECTION")
+	app.atomSendCmd, _ = ckSendCmd.Wait()
+	app.atomSendRes, _ = ckSendRes.Wait()
+	app.atomSelProp, _ = ckSelProp.Wait()
 
 	// The main window "." is a top-level child of the root.
 	main := &Window{

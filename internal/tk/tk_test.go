@@ -407,9 +407,10 @@ func TestResourceCacheReducesTraffic(t *testing.T) {
 		t.Fatalf("server sees %d round trips, client registry %d (want server = client-1)",
 			rep.RoundTrips, rtts.Value())
 	}
-	// Reverse mapping: given the pixel, Tk returns the textual name.
+	// Reverse mapping: given the pixel, Tk returns the canonical
+	// (lowercase) textual name, whatever casing the caller used.
 	px, _ := app.Color("MediumSeaGreen")
-	if app.NameOfColor(px) != "MediumSeaGreen" {
+	if app.NameOfColor(px) != "mediumseagreen" {
 		t.Fatalf("NameOfColor = %q", app.NameOfColor(px))
 	}
 }

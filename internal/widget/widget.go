@@ -76,12 +76,14 @@ type subcommander interface {
 }
 
 // install finishes widget creation: applies the configuration arguments,
+// prefetches the resulting display resources as one pipelined flight,
 // registers the widget command, and hooks destruction.
 func (b *base) install(w subcommander, args []string) (string, error) {
 	if err := b.cv.ApplyArgs(args); err != nil {
 		b.app.DestroyWindow(b.win)
 		return "", err
 	}
+	b.prefetch()
 	if err := w.recompute(); err != nil {
 		b.app.DestroyWindow(b.win)
 		return "", err
@@ -96,11 +98,23 @@ func (b *base) install(w subcommander, args []string) (string, error) {
 		}
 		sub := argv[1]
 		if sub == "configure" {
-			return tk.HandleConfigure(b.cv, argv[2:], w.recompute)
+			return tk.HandleConfigure(b.cv, argv[2:], func() error {
+				b.prefetch()
+				return w.recompute()
+			})
 		}
 		return w.widgetCommand(sub, argv[2:])
 	})
 	return path, nil
+}
+
+// prefetch issues the widget's cache-missing color/font/cursor
+// allocations as one pipelined batch (§3.3 meets the cookie model), so
+// the recompute path that follows finds them all cached after a single
+// round trip rather than one per resource.
+func (b *base) prefetch() {
+	colors, fonts, cursors := b.cv.ResourceNames()
+	b.app.PrefetchResources(colors, fonts, cursors)
 }
 
 // Destroyed implements part of tk.Widget for all classes.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -29,12 +30,22 @@ type Display struct {
 	// Errors.
 	ErrorHandler func(msg string)
 
-	mu      sync.Mutex // serializes writers and round trips
-	wbuf    []byte     // guarded by mu
-	seq     uint64     // guarded by mu
-	idNext  uint32     // guarded by mu (written once more in Open, pre-publication)
-	closed  bool       // guarded by mu
-	pending chan serverMsg
+	mu     sync.Mutex // serializes writers
+	wbuf   []byte     // guarded by mu
+	wcount int        // guarded by mu — frames buffered since the last flush
+	seq    uint64     // guarded by mu
+	idNext uint32     // guarded by mu (written once more in Open, pre-publication)
+	closed bool       // guarded by mu
+
+	// Reply routing (the XCB cookie model): every reply-bearing request
+	// registers a waiter keyed by its sequence number, so any number of
+	// requests can be in flight at once and readLoop routes each
+	// reply/error to its own waiter. pendMu is ordered after mu
+	// (SendWithReply takes mu then pendMu; nothing takes them the other
+	// way around).
+	pendMu  sync.Mutex
+	waiters map[uint64]*Cookie // guarded by pendMu
+	lostErr error              // guarded by pendMu — set once when readLoop exits
 
 	// Incoming events are buffered in an unbounded queue (as Xlib's
 	// event queue is) so the socket reader never blocks however far the
@@ -55,14 +66,13 @@ type Display struct {
 	// metrics records client-side traffic: "requests" and per-opcode
 	// "requests.<OpName>" counters for everything sent, "async" for
 	// one-way requests, "roundtrips" and the "roundtrip" latency
-	// histogram for blocking ones, "events" for deliveries. The pointer
-	// is immutable after Open; the registry is safe for concurrent use.
+	// histogram for reply-bearing ones, "events" for deliveries. The
+	// pipelining layer adds the "inflight" gauge (waiters outstanding),
+	// the "pipelined" counter (reply-bearing requests issued while
+	// another was already in flight) and the "flush.batch" histogram
+	// (frames coalesced per wire write). The pointer is immutable after
+	// Open; the registry is safe for concurrent use.
 	metrics *obs.Registry
-}
-
-type serverMsg struct {
-	kind    byte
-	payload []byte
 }
 
 const eventChanSize = 64
@@ -72,7 +82,7 @@ const eventChanSize = 64
 func Open(conn net.Conn) (*Display, error) {
 	d := &Display{
 		conn:       conn,
-		pending:    make(chan serverMsg, 256),
+		waiters:    make(map[uint64]*Cookie),
 		events:     make(chan xproto.Event, eventChanSize),
 		readerDone: make(chan struct{}),
 		stop:       make(chan struct{}),
@@ -141,7 +151,9 @@ func (d *Display) NewID() xproto.ID {
 }
 
 // readLoop dispatches incoming server messages. Events go to the
-// unbounded queue so this loop never stalls on a slow consumer.
+// unbounded queue so this loop never stalls on a slow consumer;
+// replies and errors are routed to their waiting cookie by sequence
+// number.
 func (d *Display) readLoop() {
 	defer close(d.readerDone)
 	for {
@@ -151,8 +163,17 @@ func (d *Display) readLoop() {
 			d.evDone = true
 			d.evCond.Signal()
 			d.evMu.Unlock()
-			// Fail any round trip still waiting for a reply.
-			close(d.pending)
+			// Fail every cookie still waiting for a reply, and every
+			// cookie registered from now on.
+			lost := fmt.Errorf("xclient: connection lost")
+			d.pendMu.Lock()
+			d.lostErr = lost
+			for seq, ck := range d.waiters {
+				delete(d.waiters, seq)
+				ck.resolve(nil, lost)
+			}
+			d.metrics.Gauge("inflight").Set(0)
+			d.pendMu.Unlock()
 			return
 		}
 		switch kind {
@@ -165,9 +186,45 @@ func (d *Display) readLoop() {
 			d.evCond.Signal()
 			d.evMu.Unlock()
 		case xproto.KindReply, xproto.KindError:
-			d.pending <- serverMsg{kind: kind, payload: payload}
+			d.routeReply(kind, payload)
 		}
 	}
+}
+
+// routeReply delivers one reply or error frame to the cookie waiting on
+// its sequence number. Frames nobody is waiting on surface through
+// asyncError.
+func (d *Display) routeReply(kind byte, payload []byte) {
+	r := xproto.NewReader(payload)
+	seq := r.U64()
+	if r.Err() != nil {
+		d.asyncError(fmt.Sprintf("malformed server message: %v", r.Err()))
+		return
+	}
+	d.pendMu.Lock()
+	ck := d.waiters[seq]
+	if ck != nil {
+		delete(d.waiters, seq)
+		d.metrics.Gauge("inflight").Set(int64(len(d.waiters)))
+	}
+	d.pendMu.Unlock()
+	if ck == nil {
+		if kind == xproto.KindError {
+			d.asyncError(r.String())
+		} else {
+			d.asyncError(fmt.Sprintf("unexpected reply seq %d", seq))
+		}
+		return
+	}
+	// The histogram records issue→answer wall time, so it includes the
+	// server's simulated IPC latency — the quantity §3.3's caches exist
+	// to avoid paying.
+	d.metrics.Histogram("roundtrip").Observe(time.Since(ck.begin))
+	if kind == xproto.KindError {
+		ck.resolve(nil, fmt.Errorf("x error: %s", r.String()))
+		return
+	}
+	ck.resolve(payload[8:], nil)
 }
 
 // feedEvents moves queued events onto the events channel, closing it
@@ -244,30 +301,26 @@ func (d *Display) TakeErrors() []string {
 // metric names).
 func (d *Display) Metrics() *obs.Registry { return d.metrics }
 
-// send buffers a request. Must be called with d.mu held.
+// send buffers a request, encoding it directly into the write buffer
+// (no per-request Writer or header allocation). Must be called with
+// d.mu held.
 func (d *Display) send(req xproto.Request) uint64 {
 	d.metrics.Counter("requests").Inc()
 	d.metrics.Counter("requests." + xproto.OpName(req.Op())).Inc()
-	w := xproto.NewWriter()
-	req.Encode(w)
-	payload := w.Bytes()
 	d.seq++
-	hdr := []byte{
-		byte(req.Op() >> 8), byte(req.Op()),
-		byte(len(payload) >> 24), byte(len(payload) >> 16),
-		byte(len(payload) >> 8), byte(len(payload)),
-	}
-	d.wbuf = append(d.wbuf, hdr...)
-	d.wbuf = append(d.wbuf, payload...)
+	d.wbuf = xproto.AppendRequestFrame(d.wbuf, req)
+	d.wcount++
 	return d.seq
 }
 
-// flushLocked writes the buffered requests. Must be called with d.mu
-// held.
+// flushLocked writes the buffered requests as one wire segment. Must be
+// called with d.mu held.
 func (d *Display) flushLocked() error {
 	if len(d.wbuf) == 0 || d.closed {
 		return nil
 	}
+	d.metrics.Histogram("flush.batch").ObserveNs(int64(d.wcount))
+	d.wcount = 0
 	_, err := d.conn.Write(d.wbuf)
 	d.wbuf = d.wbuf[:0]
 	return err
@@ -278,15 +331,22 @@ func (d *Display) flushLocked() error {
 // are discarded.
 func (d *Display) Request(req xproto.Request) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return
 	}
 	d.metrics.Counter("async").Inc()
 	d.send(req)
 	// Keep the buffer bounded even without explicit flushes.
+	var flushErr error
 	if len(d.wbuf) >= 32<<10 {
-		_ = d.flushLocked()
+		flushErr = d.flushLocked()
+	}
+	d.mu.Unlock()
+	if flushErr != nil {
+		// Nobody is waiting on a one-way request; surface the write
+		// failure the same way protocol errors for them surface.
+		d.asyncError(fmt.Sprintf("xclient: flush failed: %v", flushErr))
 	}
 }
 
@@ -297,51 +357,117 @@ func (d *Display) Flush() error {
 	return d.flushLocked()
 }
 
-// RoundTrip sends a request and blocks until its reply arrives, decoding
-// it with decode. Protocol errors for this request surface as errors.
-func (d *Display) RoundTrip(req xproto.Request, decode func(r *xproto.Reader)) error {
+// Cookie is the handle for an in-flight reply-bearing request (the XCB
+// model): SendWithReply returns immediately and the reply is claimed
+// later with Wait, so any number of requests can be pipelined into one
+// wire segment before the first reply is needed. A cookie is resolved
+// exactly once (by readLoop, or by connection teardown); Wait may be
+// called from any goroutine, but decode runs only on the first call.
+type Cookie struct {
+	d     *Display
+	seq   uint64
+	begin time.Time
+	done  chan struct{}
+
+	// Set exactly once, before done is closed.
+	payload []byte
+	err     error
+
+	decoded atomic.Bool
+}
+
+// Seq returns the request's protocol sequence number.
+func (ck *Cookie) Seq() uint64 { return ck.seq }
+
+// resolve fills in the outcome and releases waiters. Called exactly
+// once, by whoever removed the cookie from the waiter map.
+func (ck *Cookie) resolve(payload []byte, err error) {
+	ck.payload = payload
+	ck.err = err
+	close(ck.done)
+}
+
+// failedCookie returns an already-resolved cookie, for requests that
+// cannot be issued at all.
+func failedCookie(d *Display, err error) *Cookie {
+	ck := &Cookie{d: d, done: make(chan struct{})}
+	ck.resolve(nil, err)
+	return ck
+}
+
+// SendWithReply buffers a reply-bearing request, registers a waiter for
+// its sequence number and returns immediately — the pipelined
+// counterpart of RoundTrip. The request is not written to the wire
+// until the next Flush (or a Cookie.Wait, which flushes first), so a
+// batch of SendWithReply calls travels as one segment.
+func (d *Display) SendWithReply(req xproto.Request) *Cookie {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
-		return fmt.Errorf("xclient: display closed")
+		d.mu.Unlock()
+		return failedCookie(d, fmt.Errorf("xclient: display closed"))
 	}
 	d.metrics.Counter("roundtrips").Inc()
-	begin := time.Now()
-	seq := d.send(req)
-	if err := d.flushLocked(); err != nil {
-		return err
+	ck := &Cookie{d: d, begin: time.Now(), done: make(chan struct{})}
+	ck.seq = d.send(req)
+	d.pendMu.Lock()
+	if lost := d.lostErr; lost != nil {
+		d.pendMu.Unlock()
+		d.mu.Unlock()
+		ck.resolve(nil, lost)
+		return ck
 	}
-	for {
-		msg, ok := <-d.pending
-		if !ok {
-			return fmt.Errorf("xclient: connection lost")
-		}
-		r := xproto.NewReader(msg.payload)
-		gotSeq := r.U64()
-		if msg.kind == xproto.KindError {
-			text := r.String()
-			if gotSeq == seq {
-				d.metrics.Histogram("roundtrip").Observe(time.Since(begin))
-				return fmt.Errorf("x error: %s", text)
-			}
-			d.asyncError(text)
-			continue
-		}
-		if gotSeq != seq {
-			// A reply for a request we did not wait on; should not
-			// happen with serialized round trips.
-			d.asyncError(fmt.Sprintf("unexpected reply seq %d (want %d)", gotSeq, seq))
-			continue
-		}
-		// The histogram records flush→answer wall time, so it includes
-		// the server's simulated IPC latency — the quantity §3.3's
-		// caches exist to avoid paying.
-		d.metrics.Histogram("roundtrip").Observe(time.Since(begin))
-		if decode != nil {
-			decode(r)
-		}
+	if len(d.waiters) > 0 {
+		d.metrics.Counter("pipelined").Inc()
+	}
+	d.waiters[ck.seq] = ck
+	d.metrics.Gauge("inflight").Set(int64(len(d.waiters)))
+	d.pendMu.Unlock()
+	d.mu.Unlock()
+	return ck
+}
+
+// failCookie resolves ck with err if it is still pending; a cookie the
+// read loop already resolved is left alone.
+func (d *Display) failCookie(ck *Cookie, err error) {
+	d.pendMu.Lock()
+	if d.waiters[ck.seq] == ck {
+		delete(d.waiters, ck.seq)
+		d.metrics.Gauge("inflight").Set(int64(len(d.waiters)))
+		ck.resolve(nil, err)
+	}
+	d.pendMu.Unlock()
+}
+
+// Wait flushes any buffered requests (so the awaited request is on the
+// wire) and blocks until the reply arrives, decoding it with decode.
+// It does not hold the display lock while blocked, so other goroutines
+// can keep issuing requests and waiting on their own cookies. Protocol
+// errors for this request surface as the returned error. Calling Wait
+// again returns the same error outcome without re-decoding.
+func (ck *Cookie) Wait(decode func(r *xproto.Reader)) error {
+	if err := ck.d.Flush(); err != nil {
+		ck.d.failCookie(ck, err)
+	}
+	<-ck.done
+	if ck.err != nil {
+		return ck.err
+	}
+	if !ck.decoded.CompareAndSwap(false, true) {
+		return nil
+	}
+	if decode != nil {
+		r := xproto.NewReader(ck.payload)
+		decode(r)
 		return r.Err()
 	}
+	return nil
+}
+
+// RoundTrip sends a request and blocks until its reply arrives, decoding
+// it with decode. Protocol errors for this request surface as errors.
+// It is a thin shim over SendWithReply + Wait.
+func (d *Display) RoundTrip(req xproto.Request, decode func(r *xproto.Reader)) error {
+	return d.SendWithReply(req).Wait(decode)
 }
 
 // Sync flushes and waits until the server has processed everything

@@ -128,6 +128,25 @@ func (d *Display) InternAtom(name string) (xproto.Atom, error) {
 	return rep.Atom, err
 }
 
+// AtomCookie is a pending InternAtom reply.
+type AtomCookie struct{ ck *Cookie }
+
+// Seq reports the sequence number of the underlying request.
+func (c AtomCookie) Seq() uint64 { return c.ck.Seq() }
+
+// InternAtomAsync issues an InternAtom without waiting; several atoms
+// can be interned in one pipelined flight.
+func (d *Display) InternAtomAsync(name string) AtomCookie {
+	return AtomCookie{d.SendWithReply(&xproto.InternAtomReq{Name: name})}
+}
+
+// Wait blocks for the interned atom.
+func (c AtomCookie) Wait() (xproto.Atom, error) {
+	var rep xproto.AtomReply
+	err := c.ck.Wait(func(r *xproto.Reader) { rep.Decode(r) })
+	return rep.Atom, err
+}
+
 // GetAtomName resolves an atom to its name (a round trip).
 func (d *Display) GetAtomName(a xproto.Atom) (string, error) {
 	var rep xproto.NameReply
@@ -229,13 +248,36 @@ type Font struct {
 
 // OpenFont opens a font and queries its metrics (one round trip).
 func (d *Display) OpenFont(name string) (*Font, error) {
+	return d.OpenFontAsync(name).Wait()
+}
+
+// FontCookie is a pending font open + metrics query.
+type FontCookie struct {
+	ck   *Cookie
+	id   xproto.ID
+	name string
+}
+
+// OpenFontAsync buffers the OpenFont and its metrics query without
+// waiting, so several fonts (or a font and other resources) can be
+// allocated in one pipelined flight.
+func (d *Display) OpenFontAsync(name string) FontCookie {
 	id := d.NewID()
 	d.Request(&xproto.OpenFontReq{Fid: id, Name: name})
+	return FontCookie{
+		ck:   d.SendWithReply(&xproto.QueryFontReq{Fid: id}),
+		id:   id,
+		name: name,
+	}
+}
+
+// Wait blocks for the font handle with its cached metrics.
+func (c FontCookie) Wait() (*Font, error) {
 	var rep xproto.QueryFontReply
-	if err := d.RoundTrip(&xproto.QueryFontReq{Fid: id}, func(r *xproto.Reader) { rep.Decode(r) }); err != nil {
+	if err := c.ck.Wait(func(r *xproto.Reader) { rep.Decode(r) }); err != nil {
 		return nil, err
 	}
-	f := &Font{ID: id, Name: name, Ascent: int(rep.Ascent), Descent: int(rep.Descent)}
+	f := &Font{ID: c.id, Name: c.name, Ascent: int(rep.Ascent), Descent: int(rep.Descent)}
 	f.widths = rep.Widths
 	return f, nil
 }
@@ -389,8 +431,22 @@ func (d *Display) AllocColor(r, g, b uint16) (uint32, error) {
 // AllocNamedColor resolves a color name (a round trip). found is false
 // when the name is not in the server database.
 func (d *Display) AllocNamedColor(name string) (pixel uint32, found bool, err error) {
+	return d.AllocNamedColorAsync(name).Wait()
+}
+
+// NamedColorCookie is a pending AllocNamedColor reply.
+type NamedColorCookie struct{ ck *Cookie }
+
+// AllocNamedColorAsync issues an AllocNamedColor without waiting;
+// several colors can be allocated in one pipelined flight.
+func (d *Display) AllocNamedColorAsync(name string) NamedColorCookie {
+	return NamedColorCookie{d.SendWithReply(&xproto.AllocNamedColorReq{Name: name})}
+}
+
+// Wait blocks for the allocated pixel.
+func (c NamedColorCookie) Wait() (pixel uint32, found bool, err error) {
 	var rep xproto.ColorReply
-	err = d.RoundTrip(&xproto.AllocNamedColorReq{Name: name}, func(rd *xproto.Reader) { rep.Decode(rd) })
+	err = c.ck.Wait(func(rd *xproto.Reader) { rep.Decode(rd) })
 	return rep.Pixel, rep.Found, err
 }
 

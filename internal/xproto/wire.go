@@ -211,6 +211,20 @@ func WriteRequestFrame(w io.Writer, op uint16, payload []byte) error {
 	return WriteFrame(w, hdr[:], payload)
 }
 
+// AppendRequestFrame appends one client-to-server frame for req to buf,
+// encoding the payload in place and backfilling the length field, so a
+// client can batch many requests into one write buffer without an
+// intermediate Writer or header allocation per request.
+func AppendRequestFrame(buf []byte, req Request) []byte {
+	w := Writer{buf: buf}
+	w.PutU16(req.Op())
+	lenAt := len(w.buf)
+	w.PutU32(0) // payload length, backfilled once the payload is encoded
+	req.Encode(&w)
+	binary.BigEndian.PutUint32(w.buf[lenAt:], uint32(len(w.buf)-lenAt-4))
+	return w.buf
+}
+
 // ReadServerFrame reads one server-to-client frame, returning the message
 // kind and payload.
 func ReadServerFrame(r io.Reader) (kind byte, payload []byte, err error) {

@@ -10,6 +10,7 @@
 package xserver
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
@@ -53,7 +54,8 @@ type Server struct {
 	grabWin    *window // guarded by mu
 
 	nextIDBase uint32       // guarded by mu
-	latency    atomic.Int64 // nanoseconds per request
+	latency    atomic.Int64 // nanoseconds per request (or per segment)
+	latModel   atomic.Int32 // LatencyModel selecting how latency is charged
 	start      time.Time    // immutable after New
 
 	conns    map[*conn]bool // guarded by mu
@@ -166,8 +168,29 @@ func New(width, height int) *Server {
 // Root returns the root window ID.
 func (s *Server) Root() xproto.ID { return 1 }
 
-// SetLatency sets the simulated IPC latency applied to every request.
+// LatencyModel selects how the simulated IPC latency is charged.
+type LatencyModel int32
+
+const (
+	// LatencyPerRequest charges the latency once per request, however
+	// the requests arrive — the historical default, and what the
+	// EXPERIMENTS.md Table II numbers use. It models a client that
+	// performs a full round trip for every request.
+	LatencyPerRequest LatencyModel = iota
+	// LatencyPerSegment charges the latency once per wire read: a flush
+	// of K pipelined requests arrives as one segment and pays the
+	// latency once, not K times — the payoff the XCB cookie model (and
+	// this client's SendWithReply) exists to collect.
+	LatencyPerSegment
+)
+
+// SetLatency sets the simulated IPC latency applied to every request
+// (or, under LatencyPerSegment, every wire segment).
 func (s *Server) SetLatency(d time.Duration) { s.latency.Store(int64(d)) }
+
+// SetLatencyModel selects how SetLatency's cost is charged. The default
+// is LatencyPerRequest.
+func (s *Server) SetLatencyModel(m LatencyModel) { s.latModel.Store(int32(m)) }
 
 // Stats reports aggregate request count across all connections. It is
 // a compatibility shim over Metrics(): the same number is the
@@ -257,15 +280,31 @@ func (s *Server) ServeConn(nc net.Conn) {
 	s.nextIDBase += 0x00200000
 	s.mu.Unlock()
 
-	// Writer goroutine.
+	// Writer goroutine: coalesces every frame queued at wake-up time
+	// into a single Write, so a burst of replies/events crosses the
+	// wire as one segment (the mirror of the client's batched flush).
 	go func() {
+		var batch []byte
 		for {
 			select {
 			case buf, ok := <-c.out:
 				if !ok {
 					return
 				}
-				if _, err := nc.Write(buf); err != nil {
+				batch = append(batch[:0], buf...)
+			coalesce:
+				for {
+					select {
+					case more, ok := <-c.out:
+						if !ok {
+							break coalesce
+						}
+						batch = append(batch, more...)
+					default:
+						break coalesce
+					}
+				}
+				if _, err := nc.Write(batch); err != nil {
 					c.close()
 					return
 				}
@@ -286,14 +325,21 @@ func (s *Server) ServeConn(nc net.Conn) {
 	setup.Encode(w)
 	c.enqueueFrame(xproto.KindReply, w.Bytes(), true)
 
-	// Request loop.
+	// Request loop. Requests are read through a buffered reader over a
+	// latency-charging wrapper: under LatencyPerSegment each underlying
+	// conn read (one wire segment, typically one client flush) pays the
+	// simulated latency once, however many requests it carries; under
+	// LatencyPerRequest the historical per-request sleep below applies.
+	br := bufio.NewReaderSize(&segmentReader{s: s, conn: nc}, 64<<10)
 	for {
-		op, payload, err := xproto.ReadRequestFrame(nc)
+		op, payload, err := xproto.ReadRequestFrame(br)
 		if err != nil {
 			break
 		}
-		if lat := s.latency.Load(); lat > 0 {
-			time.Sleep(time.Duration(lat))
+		if s.latModel.Load() == int32(LatencyPerRequest) {
+			if lat := s.latency.Load(); lat > 0 {
+				time.Sleep(time.Duration(lat))
+			}
 		}
 		c.seq++
 		// Counters are bumped before dispatch so a QueryCounters reply
@@ -323,6 +369,28 @@ func (c *conn) close() {
 		close(c.done)
 		c.rw.Close()
 	})
+}
+
+// segmentReader counts wire segments and charges the per-segment
+// simulated latency: each successful read from the underlying
+// connection is one segment (one client flush, up to the buffer size),
+// so K pipelined requests in one flush pay the latency once.
+type segmentReader struct {
+	s    *Server
+	conn net.Conn
+}
+
+func (sr *segmentReader) Read(p []byte) (int, error) {
+	n, err := sr.conn.Read(p)
+	if n > 0 {
+		sr.s.metrics.Counter("segments").Inc()
+		if sr.s.latModel.Load() == int32(LatencyPerSegment) {
+			if lat := sr.s.latency.Load(); lat > 0 {
+				time.Sleep(time.Duration(lat))
+			}
+		}
+	}
+	return n, err
 }
 
 // enqueueFrame frames and queues a server-to-client message. Replies and

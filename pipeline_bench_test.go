@@ -1,0 +1,193 @@
+// Pipelining benchmarks: the XCB-style cookie model against serial
+// round trips, under both simulated-latency accounting models. The
+// gated emitter writes BENCH_pipeline.json, the artifact the
+// EXPERIMENTS.md §3.3 follow-on table points at.
+package repro_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xclient"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// BenchmarkPipelinedRoundTrips measures k Ping round trips per
+// iteration with k requests in flight at once, at 1 ms of simulated IPC
+// latency charged per wire segment. With the cookie model the k=8 and
+// k=64 variants pay the latency once per batch, not once per request.
+func BenchmarkPipelinedRoundTrips(b *testing.B) {
+	for _, k := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("inflight=%d", k), func(b *testing.B) {
+			app, err := core.NewApp(core.Options{Name: "bench"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer app.Close()
+			app.Server.SetLatency(time.Millisecond)
+			app.Server.SetLatencyModel(xserver.LatencyPerSegment)
+			defer func() {
+				app.Server.SetLatency(0)
+				app.Server.SetLatencyModel(xserver.LatencyPerRequest)
+			}()
+			cookies := make([]*xclient.Cookie, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < k; j++ {
+					cookies[j] = app.Disp.SendWithReply(&xproto.PingReq{})
+				}
+				for j := 0; j < k; j++ {
+					if err := cookies[j].Wait(nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			// Per-round-trip cost, so the three variants compare directly.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/rtt")
+		})
+	}
+}
+
+// minDuration runs f reps times and returns the fastest run, shielding
+// the emitted numbers from scheduler noise.
+func minDuration(reps int, f func() time.Duration) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		if d := f(); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestEmitPipelineBench measures serial vs pipelined round trips and
+// cold widget creation under both latency models and writes
+// BENCH_pipeline.json. It doubles as the acceptance check (make check
+// runs it with OBS_BENCH=1): 8 pipelined round trips at 1 ms under the
+// per-segment model must beat 8 serial ones by at least 4×.
+func TestEmitPipelineBench(t *testing.T) {
+	if os.Getenv("OBS_BENCH") == "" {
+		t.Skip("set OBS_BENCH=1 to run the workload and emit BENCH_pipeline.json")
+	}
+
+	// --- Round trips: 8 serial vs 8 pipelined, 1 ms, both models. ----
+	const flight = 8
+	const lat = time.Millisecond
+	const reps = 5
+	measureRTT := func(model xserver.LatencyModel, pipelined bool) time.Duration {
+		app, err := core.NewApp(core.Options{Name: "pipebench"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer app.Close()
+		app.Server.SetLatency(lat)
+		app.Server.SetLatencyModel(model)
+		return minDuration(reps, func() time.Duration {
+			start := time.Now()
+			if pipelined {
+				cookies := make([]*xclient.Cookie, flight)
+				for j := range cookies {
+					cookies[j] = app.Disp.SendWithReply(&xproto.PingReq{})
+				}
+				for _, ck := range cookies {
+					if err := ck.Wait(nil); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else {
+				for j := 0; j < flight; j++ {
+					if err := app.Disp.Sync(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			return time.Since(start)
+		})
+	}
+	rtt := map[string]time.Duration{
+		"per_request_serial":    measureRTT(xserver.LatencyPerRequest, false),
+		"per_request_pipelined": measureRTT(xserver.LatencyPerRequest, true),
+		"per_segment_serial":    measureRTT(xserver.LatencyPerSegment, false),
+		"per_segment_pipelined": measureRTT(xserver.LatencyPerSegment, true),
+	}
+
+	// Acceptance: under the per-segment model, pipelining 8 requests is
+	// ≥ 4× faster than 8 serial round trips.
+	if rtt["per_segment_pipelined"]*4 > rtt["per_segment_serial"] {
+		t.Fatalf("pipelined %v vs serial %v: want ≥ 4× speedup under per-segment model",
+			rtt["per_segment_pipelined"], rtt["per_segment_serial"])
+	}
+
+	// --- Cold widget creation at 0/1/5 ms under both models. ---------
+	// A fresh app per run keeps the resource caches cold, so the
+	// prefetch batch actually has allocations to pipeline.
+	measureWidgets := func(model xserver.LatencyModel, wlat time.Duration) time.Duration {
+		return minDuration(3, func() time.Duration {
+			app, err := core.NewApp(core.Options{Name: "pipebench"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer app.Close()
+			app.Server.SetLatency(wlat)
+			app.Server.SetLatencyModel(model)
+			start := time.Now()
+			app.MustEval(`frame .f`)
+			app.MustEval(`pack append . .f {top}`)
+			for _, s := range []string{"a", "b", "c", "d", "e"} {
+				app.MustEval(`button .f.` + s + ` -text ` + s + ` -foreground red`)
+				app.MustEval(`pack append .f .f.` + s + ` {top}`)
+			}
+			app.Update()
+			app.MustEval(`.f.a configure -background SteelBlue -foreground NavyBlue`)
+			app.Update()
+			return time.Since(start)
+		})
+	}
+	widgets := make(map[string]time.Duration)
+	for _, m := range []struct {
+		name  string
+		model xserver.LatencyModel
+	}{
+		{"per_request", xserver.LatencyPerRequest},
+		{"per_segment", xserver.LatencyPerSegment},
+	} {
+		for _, wlat := range []time.Duration{0, time.Millisecond, 5 * time.Millisecond} {
+			widgets[fmt.Sprintf("%s_lat%s", m.name, wlat)] = measureWidgets(m.model, wlat)
+		}
+	}
+
+	toNs := func(m map[string]time.Duration) map[string]int64 {
+		out := make(map[string]int64, len(m))
+		for k, v := range m {
+			out[k] = v.Nanoseconds()
+		}
+		return out
+	}
+	out := struct {
+		Flight     int              `json:"round_trips_in_flight"`
+		LatencyNs  int64            `json:"round_trip_latency_ns"`
+		RoundTrips map[string]int64 `json:"round_trips_ns"`
+		Widgets    map[string]int64 `json:"widget_creation_ns"`
+	}{
+		Flight:     flight,
+		LatencyNs:  int64(lat),
+		RoundTrips: toNs(rtt),
+		Widgets:    toNs(widgets),
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pipeline.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_pipeline.json: per-segment serial %v, pipelined %v (%.1fx)",
+		rtt["per_segment_serial"], rtt["per_segment_pipelined"],
+		float64(rtt["per_segment_serial"])/float64(rtt["per_segment_pipelined"]))
+}
