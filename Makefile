@@ -1,13 +1,14 @@
 # Pre-PR gate: build, vet, race-gated tests, tkcheck over every Tcl
-# script in the tree (docs/static-analysis.md), and the observability
-# smoke (docs/observability.md). All five legs must pass before a
-# change ships.
+# script in the tree (docs/static-analysis.md), the observability
+# smoke (docs/observability.md), and the chaos harness
+# (docs/fault-injection.md). All six legs must pass before a change
+# ships.
 
 GO ?= go
 
-.PHONY: check build vet test tkcheck bench bench-smoke
+.PHONY: check build vet test tkcheck bench bench-smoke chaos
 
-check: build vet test tkcheck bench-smoke
+check: build vet test tkcheck bench-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -32,3 +33,10 @@ bench:
 # round trips must beat 8 serial ones ≥ 4× under the per-segment model.
 bench-smoke:
 	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench' -count=1 .
+
+# chaos runs the fault-injection harness (chaos_test.go): a real widget
+# workload under a bounded seeded scenario matrix, race-gated, asserting
+# zero hangs, zero panics, and every injected fault recovered from or
+# surfaced as a clean error. See docs/fault-injection.md.
+chaos:
+	$(GO) test -race -run TestChaos -count=1 -timeout 300s -v .

@@ -1,0 +1,217 @@
+// Chaos harness (`make chaos`): drives a real widget workload through a
+// matrix of seeded fault scenarios injected under the wire by
+// internal/fault, and asserts graceful degradation end to end — zero
+// hangs (a watchdog bounds every scenario), zero panics (the run is
+// race-gated), every injected fault either recovered from or surfaced
+// as a clean Go error / tkerror report, and the fault.* counters
+// accounting for 100% of the injected faults. docs/fault-injection.md
+// describes the scenarios and how to add more.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/tk"
+	"repro/internal/widget"
+	"repro/internal/xclient"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+// chaosScenarios is the bounded seed set the harness (and `make chaos`)
+// runs. Each entry exercises one fault kind in isolation plus a combo;
+// the baseline proves the workload itself is clean.
+var chaosScenarios = []fault.Scenario{
+	{Name: "baseline", Seed: 1},
+	{Name: "jitter", Seed: 2, Jitter: 500 * time.Microsecond, JitterProb: 0.5},
+	{Name: "short-writes", Seed: 3, ShortWriteProb: 0.7},
+	{Name: "short-reads", Seed: 4, ShortReadProb: 0.7},
+	{Name: "corrupt-write", Seed: 5, CorruptWriteProb: 0.05},
+	{Name: "corrupt-read", Seed: 6, CorruptReadProb: 0.05},
+	{Name: "kill-after-requests", Seed: 7, KillAfterRequests: 60},
+	{Name: "kill-after-bytes", Seed: 8, KillAfterBytes: 2048},
+	{Name: "stall", Seed: 9, StallEvery: 5, StallDur: 20 * time.Millisecond},
+	{Name: "combo", Seed: 10, Jitter: 200 * time.Microsecond, JitterProb: 0.3,
+		ShortWriteProb: 0.3, ShortReadProb: 0.3, CorruptReadProb: 0.01,
+		StallEvery: 20, StallDur: 5 * time.Millisecond},
+}
+
+// chaosOutcome is what one scenario run reports back to the assertions.
+type chaosOutcome struct {
+	surfaced  []string // clean Go errors collected along the way
+	tkerrors  int      // errors routed through the tkerror convention
+	recovered bool     // the final round trip on the faulty conn succeeded
+}
+
+// TestChaos runs the widget workload under every scenario. Requires
+// -race (the Makefile target supplies it) for the no-panics/no-races
+// guarantee to mean something.
+func TestChaos(t *testing.T) {
+	for _, sc := range chaosScenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			runChaosScenario(t, sc)
+		})
+	}
+}
+
+func runChaosScenario(t *testing.T, sc fault.Scenario) {
+	srv := xserver.New(800, 600)
+	defer srv.Close()
+	srv.SetLatency(100 * time.Microsecond)
+	srv.SetLatencyModel(xserver.LatencyPerSegment)
+	srv.SetWriteTimeout(time.Second)
+
+	// The faulty connection: the chaos layer sits under xclient exactly
+	// where the xtrace tap would.
+	fc := fault.Wrap(srv.ConnectPipe(), sc, nil)
+
+	outc := make(chan chaosOutcome, 1)
+	go func() {
+		outc <- chaosWorkload(t, srv, fc, sc)
+	}()
+
+	// Watchdog: no scenario may hang. The workload is seconds of work;
+	// 60s means something above the fault layer lost its deadline.
+	var out chaosOutcome
+	select {
+	case out = <-outc:
+	case <-time.After(60 * time.Second):
+		srv.Close()
+		t.Fatalf("scenario %q hung: workload did not finish within 60s", sc.Name)
+	}
+
+	// Accounting: the per-kind counters explain 100% of the injections.
+	var sum uint64
+	for _, name := range fault.CounterNames {
+		sum += fc.Metrics().Counter(name).Value()
+	}
+	if sum != fc.Total() {
+		t.Fatalf("fault counters sum to %d but Total() = %d", sum, fc.Total())
+	}
+
+	injected := fc.Total()
+	surfaced := len(out.surfaced) + out.tkerrors
+	t.Logf("scenario %-20s injected=%-4d surfaced=%-3d recovered=%v",
+		sc.Name, injected, surfaced, out.recovered)
+
+	if sc.Name == "baseline" {
+		if injected != 0 {
+			t.Fatalf("baseline injected %d faults", injected)
+		}
+		if surfaced != 0 {
+			t.Fatalf("baseline produced errors: %v (tkerrors=%d)", out.surfaced, out.tkerrors)
+		}
+		if !out.recovered {
+			t.Fatal("baseline should finish with a clean round trip")
+		}
+		return
+	}
+	// Graceful degradation: every injected fault was either absorbed
+	// (the connection still answers a round trip) or surfaced as a
+	// clean error. Silence plus a dead connection means something
+	// swallowed a failure.
+	if injected > 0 && !out.recovered && surfaced == 0 {
+		t.Fatalf("scenario %q injected %d faults, connection is dead, and nothing surfaced",
+			sc.Name, injected)
+	}
+}
+
+// chaosWorkload runs the real workload on the faulty connection:
+// app setup, button create/configure/destroy cycles, pipelined round
+// trips, and a send to a healthy peer app on the same display. Every
+// failure is collected, never fatal — the scenario assertions decide
+// what failure pattern is acceptable.
+func chaosWorkload(t *testing.T, srv *xserver.Server, fc *fault.Conn, sc fault.Scenario) chaosOutcome {
+	var out chaosOutcome
+	collect := func(stage string, err error) {
+		if err != nil {
+			out.surfaced = append(out.surfaced, fmt.Sprintf("%s: %v", stage, err))
+		}
+	}
+
+	d, err := xclient.Open(fc)
+	if err != nil {
+		collect("open", err)
+		return out
+	}
+	defer d.Close()
+	d.SetRoundTripTimeout(2 * time.Second)
+
+	app, err := tk.NewApp(d, tk.Config{Name: "chaos"})
+	if err != nil {
+		collect("newapp", err)
+		return out
+	}
+	widget.Register(app)
+	defer app.Destroy()
+	app.SendTimeout = 2 * time.Second
+	// Surfacing path for async display errors: the tkerror convention.
+	if _, err := app.Eval(`set ::chaoserrs 0; proc tkerror {msg} {incr ::chaoserrs}`); err != nil {
+		collect("tkerror-setup", err)
+	}
+
+	// A healthy peer on its own clean connection: the send target, and
+	// the proof that one client's chaos stays its own.
+	peerD, err := xclient.Open(srv.ConnectPipe())
+	if err != nil {
+		collect("peer-open", err)
+		return out
+	}
+	defer peerD.Close()
+	peer, err := tk.NewApp(peerD, tk.Config{Name: "peer"})
+	if err != nil {
+		collect("peer-newapp", err)
+		return out
+	}
+	widget.Register(peer)
+	defer peer.Destroy()
+	if _, err := peer.Eval(`proc answer {} {return pong}`); err != nil {
+		collect("peer-proc", err)
+	}
+	stop := peer.StartServing()
+	defer stop()
+
+	// The widget workload: create, lay out, configure, redisplay,
+	// destroy — the paper's Table II shape, under fire.
+	for i := 0; i < 6; i++ {
+		_, err := app.Eval(fmt.Sprintf(`button .b%d -text "Button %d"`, i, i))
+		collect("create", err)
+		_, err = app.Eval(fmt.Sprintf(`pack append . .b%d {top}`, i))
+		collect("pack", err)
+		_, err = app.Eval(fmt.Sprintf(`.b%d configure -text "Pressed %d"`, i, i))
+		collect("configure", err)
+		app.Update()
+		_, err = app.Eval(fmt.Sprintf(`destroy .b%d`, i))
+		collect("destroy", err)
+	}
+
+	// Pipelined round trips: 8 cookies in flight, then wait for all.
+	cookies := make([]*xclient.Cookie, 8)
+	for i := range cookies {
+		cookies[i] = d.SendWithReply(&xproto.PingReq{})
+	}
+	collect("flush", d.Flush())
+	for _, ck := range cookies {
+		collect("cookie", ck.Wait(nil))
+	}
+
+	// Send: a cross-application RPC to the healthy peer.
+	if res, err := app.Send("peer", "answer"); err != nil {
+		collect("send", err)
+	} else if res != "pong" {
+		collect("send", fmt.Errorf("send result %q, want pong", res))
+	}
+
+	// Drain any tkerror-routed async errors, then take the verdict
+	// round trip: can this connection still answer?
+	app.Update()
+	if res, err := app.Eval(`set ::chaoserrs`); err == nil {
+		fmt.Sscanf(res, "%d", &out.tkerrors)
+	}
+	out.recovered = d.Sync() == nil
+	return out
+}

@@ -6,16 +6,24 @@
 //
 // Usage:
 //
-//	xsimd [-addr 127.0.0.1:6001] [-width 1024] [-height 768] [-latency-us N] [-latency-model request|segment]
+//	xsimd [-addr 127.0.0.1:6001] [-width 1024] [-height 768] [-latency-us N] [-latency-model request|segment] [-fault spec]
+//
+// -fault wraps every accepted connection in the internal/fault chaos
+// layer, injecting the faults the comma-separated key=value spec
+// describes (see docs/fault-injection.md), e.g.
+//
+//	xsimd -fault seed=42,jitter=2ms,shortwrite=0.3
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/xserver"
 )
 
@@ -26,7 +34,22 @@ func main() {
 	latency := flag.Int("latency-us", 0, "simulated per-request IPC latency in microseconds")
 	latModel := flag.String("latency-model", "request",
 		`how simulated latency is charged: "request" (per request) or "segment" (per wire read, rewarding pipelined clients)`)
+	faultSpec := flag.String("fault", "",
+		`fault-injection scenario applied to every connection, e.g. "seed=42,jitter=2ms,shortwrite=0.3" (docs/fault-injection.md)`)
 	flag.Parse()
+
+	var scenario fault.Scenario
+	if *faultSpec != "" {
+		var err error
+		scenario, err = fault.ParseScenario(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsimd: %v\n", err)
+			os.Exit(2)
+		}
+		// The wrapper sits on the server side of each connection: its
+		// write direction carries server→client frames.
+		scenario.ServerSide = true
+	}
 
 	srv := xserver.New(*width, *height)
 	if *latency > 0 {
@@ -41,15 +64,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xsimd: unknown -latency-model %q (want request or segment)\n", *latModel)
 		os.Exit(2)
 	}
-	bound, err := srv.Listen(*addr)
+
+	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xsimd: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("xsimd: simulated display server on %s (%dx%d)\n", bound, *width, *height)
+	fmt.Printf("xsimd: simulated display server on %s (%dx%d)\n", l.Addr(), *width, *height)
+	if scenario.Active() {
+		fmt.Printf("xsimd: injecting faults on every connection: %s\n", *faultSpec)
+	}
+
+	// Accept loop: each connection is served directly, or through the
+	// fault layer when -fault is given.
+	go func() {
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				return
+			}
+			if scenario.Active() {
+				nc = fault.Wrap(nc, scenario, nil)
+			}
+			go srv.ServeConn(nc)
+		}
+	}()
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
+	l.Close()
 	srv.Close()
 }

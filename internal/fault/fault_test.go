@@ -1,0 +1,275 @@
+package fault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// chat pushes msg through a wrapped pipe and returns what the far end
+// received (reading until the expected size or the connection dies).
+func chat(t *testing.T, sc Scenario, msg []byte) []byte {
+	t.Helper()
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := Wrap(a, sc, nil)
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 0, len(msg))
+		tmp := make([]byte, 64)
+		for len(buf) < len(msg) {
+			n, err := b.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		got <- buf
+	}()
+	fc.Write(msg)
+	select {
+	case out := <-got:
+		return out
+	case <-time.After(5 * time.Second):
+		t.Fatal("far end never received the payload")
+		return nil
+	}
+}
+
+// TestPassThrough: a zero scenario injects nothing and the bytes arrive
+// intact.
+func TestPassThrough(t *testing.T) {
+	msg := []byte("hello from the client side")
+	sc := Scenario{Name: "none"}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := Wrap(a, sc, nil)
+	go fc.Write(msg)
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q", buf)
+	}
+	if fc.Total() != 0 {
+		t.Fatalf("zero scenario injected %d faults", fc.Total())
+	}
+}
+
+// TestShortWritePreservesBytes: torn writes still deliver every byte in
+// order.
+func TestShortWritePreservesBytes(t *testing.T) {
+	msg := bytes.Repeat([]byte("0123456789"), 20)
+	sc := Scenario{Name: "tear", Seed: 7, ShortWriteProb: 1}
+	got := chat(t, sc, msg)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("short writes corrupted the stream: got %d bytes", len(got))
+	}
+}
+
+// TestShortReadPreservesBytes: shortened reads never drop bytes.
+func TestShortReadPreservesBytes(t *testing.T) {
+	msg := bytes.Repeat([]byte("abcdefgh"), 25)
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := Wrap(a, Scenario{Name: "shortread", Seed: 3, ShortReadProb: 1}, nil)
+	go func() {
+		b.Write(msg)
+		b.Close()
+	}()
+	var buf []byte
+	tmp := make([]byte, 64)
+	for {
+		n, err := fc.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("short reads corrupted the stream: got %d/%d bytes", len(buf), len(msg))
+	}
+	if fc.Metrics().Counter(CtrShortRead).Value() == 0 {
+		t.Fatal("no short reads counted despite probability 1")
+	}
+}
+
+// TestCorruptWriteFlipsExactlyOneBit per corrupted write.
+func TestCorruptWriteFlipsOneBit(t *testing.T) {
+	msg := bytes.Repeat([]byte{0}, 100)
+	sc := Scenario{Name: "corrupt", Seed: 11, CorruptWriteProb: 1}
+	got := chat(t, sc, msg)
+	ones := 0
+	for _, by := range got {
+		for ; by != 0; by &= by - 1 {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("want exactly 1 flipped bit, got %d", ones)
+	}
+}
+
+// frame builds one client→server frame: [u16 op][u32 len][payload].
+func frame(op uint16, payload []byte) []byte {
+	n := len(payload)
+	out := []byte{byte(op >> 8), byte(op), byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+	return append(out, payload...)
+}
+
+// TestKillAfterRequests counts complete frames across arbitrary write
+// chunking and kills on the boundary.
+func TestKillAfterRequests(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go io.Copy(io.Discard, b)
+
+	fc := Wrap(a, Scenario{Name: "kill3", KillAfterRequests: 3}, nil)
+	buf := append(frame(1, []byte("aa")), frame(2, nil)...)
+	if _, err := fc.Write(buf); err != nil {
+		t.Fatalf("first two frames: %v", err)
+	}
+	// Third frame split across two writes: the kill fires on the write
+	// that completes it.
+	f3 := frame(3, []byte("zzzz"))
+	if _, err := fc.Write(f3[:4]); err != nil {
+		t.Fatalf("partial frame: %v", err)
+	}
+	if _, err := fc.Write(f3[4:]); err == nil {
+		t.Fatal("completing frame 3 should kill the connection")
+	}
+	if !fc.Killed() {
+		t.Fatal("Killed() should report true")
+	}
+	if _, err := fc.Write([]byte("more")); err == nil {
+		t.Fatal("writes after kill must fail")
+	}
+	if fc.Metrics().Counter(CtrKill).Value() != 1 {
+		t.Fatalf("kill counter = %d", fc.Metrics().Counter(CtrKill).Value())
+	}
+}
+
+// TestKillAfterBytesTruncates: the killing write delivers only the
+// allowed prefix — a torn frame for the peer.
+func TestKillAfterBytesTruncates(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	recv := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(b)
+		recv <- buf
+	}()
+	fc := Wrap(a, Scenario{Name: "kb", KillAfterBytes: 10}, nil)
+	if _, err := fc.Write(bytes.Repeat([]byte("x"), 25)); err == nil {
+		t.Fatal("write crossing the byte budget should fail")
+	}
+	got := <-recv
+	if len(got) != 10 {
+		t.Fatalf("peer received %d bytes, want the 10-byte truncated prefix", len(got))
+	}
+}
+
+// TestDeterminism: the same seed injects the same faults for the same
+// traffic; a different seed (almost surely) differs.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) map[string]uint64 {
+		sc := Scenario{Name: "det", Seed: seed, ShortWriteProb: 0.5, CorruptWriteProb: 0.3}
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		go io.Copy(io.Discard, b)
+		fc := Wrap(a, sc, nil)
+		for i := 0; i < 40; i++ {
+			fc.Write(frame(uint16(i), []byte("payload")))
+		}
+		return fc.Metrics().Counters()
+	}
+	first := run(42)
+	second := run(42)
+	for name, v := range first {
+		if second[name] != v {
+			t.Fatalf("seed 42 not deterministic: %s %d vs %d", name, v, second[name])
+		}
+	}
+	if first[CtrShortWrite] == 0 && first[CtrCorruptWrite] == 0 {
+		t.Fatal("probabilistic scenario injected nothing in 40 writes")
+	}
+}
+
+// TestAccounting: the per-kind counters sum to Total, always.
+func TestAccounting(t *testing.T) {
+	sc := Scenario{
+		Name: "mix", Seed: 5,
+		Jitter: time.Microsecond, JitterProb: 0.5,
+		ShortWriteProb: 0.5, ShortReadProb: 0.5,
+		CorruptWriteProb: 0.2, CorruptReadProb: 0.2,
+		StallEvery: 3, StallDur: time.Microsecond,
+	}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	// Independent drain and feed goroutines: a synchronous echo would
+	// deadlock against torn writes (both sides blocked mid-rendezvous).
+	go io.Copy(io.Discard, b)
+	go func() {
+		for i := 0; i < 30; i++ {
+			if _, err := b.Write([]byte("reply here")); err != nil {
+				return
+			}
+		}
+	}()
+	fc := Wrap(a, sc, nil)
+	tmp := make([]byte, 64)
+	for i := 0; i < 30; i++ {
+		fc.Write(frame(9, []byte("ping")))
+		fc.Read(tmp)
+	}
+	var sum uint64
+	for _, name := range CounterNames {
+		sum += fc.Metrics().Counter(name).Value()
+	}
+	if sum != fc.Total() {
+		t.Fatalf("counters sum to %d but Total() = %d", sum, fc.Total())
+	}
+	if sum == 0 {
+		t.Fatal("mixed scenario injected nothing")
+	}
+}
+
+// TestParseScenario round-trips a full spec and rejects bad ones.
+func TestParseScenario(t *testing.T) {
+	sc, err := ParseScenario("seed=42,jitter=2ms,jitterprob=0.5,shortwrite=0.3,shortread=0.25,corruptwrite=0.01,corruptread=0.02,killreq=500,killbytes=8192,stallevery=50,stalldur=100ms,server=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 42 || sc.Jitter != 2*time.Millisecond || sc.JitterProb != 0.5 ||
+		sc.ShortWriteProb != 0.3 || sc.ShortReadProb != 0.25 ||
+		sc.CorruptWriteProb != 0.01 || sc.CorruptReadProb != 0.02 ||
+		sc.KillAfterRequests != 500 || sc.KillAfterBytes != 8192 ||
+		sc.StallEvery != 50 || sc.StallDur != 100*time.Millisecond || !sc.ServerSide {
+		t.Fatalf("parsed scenario wrong: %+v", sc)
+	}
+	if !sc.Active() {
+		t.Fatal("parsed scenario should be active")
+	}
+	if sc2, err := ParseScenario("jitter=1ms"); err != nil || sc2.JitterProb != 1 {
+		t.Fatalf("jitterprob should default to 1: %+v, %v", sc2, err)
+	}
+	for _, bad := range []string{"bogus=1", "shortwrite=1.5", "jitter", "seed=abc"} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("ParseScenario(%q) should fail", bad)
+		}
+	}
+	if (Scenario{}).Active() {
+		t.Fatal("zero scenario should be inactive")
+	}
+}

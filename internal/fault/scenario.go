@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Scenario describes one deterministic fault-injection regime. The zero
+// value injects nothing; every field enables one fault kind. See
+// docs/fault-injection.md for the full reference.
+type Scenario struct {
+	// Name labels the scenario in errors and harness output.
+	Name string
+	// Seed drives both per-direction random streams; the same seed
+	// replays the same fault decisions.
+	Seed int64
+
+	// Jitter delays a read or write by a uniform duration in
+	// [0, Jitter), with probability JitterProb per operation.
+	Jitter     time.Duration
+	JitterProb float64
+
+	// ShortWriteProb is the probability that a Write is torn into two
+	// underlying wire writes at a random byte boundary, so the peer
+	// sees a segment boundary mid-frame.
+	ShortWriteProb float64
+
+	// ShortReadProb is the probability that a Read is limited to a
+	// random prefix of the caller's buffer.
+	ShortReadProb float64
+
+	// CorruptWriteProb / CorruptReadProb are per-operation probabilities
+	// of flipping one random bit in the outgoing or incoming bytes.
+	CorruptWriteProb float64
+	CorruptReadProb  float64
+
+	// KillAfterRequests closes the connection once N complete frames
+	// have crossed the write direction (requests, for a client-side
+	// wrapper). KillAfterBytes closes it after N payload bytes,
+	// delivering the truncated prefix first — a torn frame.
+	KillAfterRequests int
+	KillAfterBytes    int64
+
+	// StallEvery / StallDur: every Nth read blocks for StallDur before
+	// touching the wire — a one-way stall (the peer's writes still
+	// flow; ours do too).
+	StallEvery int
+	StallDur   time.Duration
+
+	// ServerSide marks a wrapper layered under xserver instead of
+	// xclient: outgoing frames then carry the 1-byte server-to-client
+	// header rather than the 2-byte opcode header (frame counting for
+	// KillAfterRequests needs to know).
+	ServerSide bool
+}
+
+// headerBytes returns the frame-header width for the write direction.
+func (sc Scenario) headerBytes() int {
+	if sc.ServerSide {
+		return 1
+	}
+	return 2
+}
+
+// Active reports whether the scenario injects any faults at all.
+func (sc Scenario) Active() bool {
+	return (sc.Jitter > 0 && sc.JitterProb > 0) ||
+		sc.ShortWriteProb > 0 || sc.ShortReadProb > 0 ||
+		sc.CorruptWriteProb > 0 || sc.CorruptReadProb > 0 ||
+		sc.KillAfterRequests > 0 || sc.KillAfterBytes > 0 ||
+		(sc.StallEvery > 0 && sc.StallDur > 0)
+}
+
+// String renders the scenario compactly (its name, or the spec shape).
+func (sc Scenario) String() string {
+	if sc.Name != "" {
+		return sc.Name
+	}
+	return "scenario"
+}
+
+// ParseScenario builds a Scenario from a comma-separated key=value spec
+// (the xsimd -fault flag syntax), e.g.
+//
+//	seed=42,jitter=2ms,jitterprob=0.5,shortwrite=0.3,corruptread=0.01,killreq=500
+//
+// Keys: seed, jitter (duration), jitterprob, shortwrite, shortread,
+// corruptwrite, corruptread (probabilities in [0,1]), killreq,
+// killbytes, stallevery (counts), stalldur (duration), server (bool).
+func ParseScenario(spec string) (Scenario, error) {
+	// jitterprob defaults to 1 so "jitter=2ms" alone means every op.
+	sc := Scenario{Name: spec, JitterProb: 1}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return sc, fmt.Errorf("fault: bad scenario element %q (want key=value)", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			sc.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "jitter":
+			sc.Jitter, err = time.ParseDuration(val)
+		case "jitterprob":
+			sc.JitterProb, err = parseProb(val)
+		case "shortwrite":
+			sc.ShortWriteProb, err = parseProb(val)
+		case "shortread":
+			sc.ShortReadProb, err = parseProb(val)
+		case "corruptwrite":
+			sc.CorruptWriteProb, err = parseProb(val)
+		case "corruptread":
+			sc.CorruptReadProb, err = parseProb(val)
+		case "killreq":
+			sc.KillAfterRequests, err = strconv.Atoi(val)
+		case "killbytes":
+			sc.KillAfterBytes, err = strconv.ParseInt(val, 10, 64)
+		case "stallevery":
+			sc.StallEvery, err = strconv.Atoi(val)
+		case "stalldur":
+			sc.StallDur, err = time.ParseDuration(val)
+		case "server":
+			sc.ServerSide, err = strconv.ParseBool(val)
+		default:
+			return sc, fmt.Errorf("fault: unknown scenario key %q", key)
+		}
+		if err != nil {
+			return sc, fmt.Errorf("fault: bad value for %q: %v", key, err)
+		}
+	}
+	return sc, nil
+}
+
+func parseProb(val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v out of [0,1]", p)
+	}
+	return p, nil
+}

@@ -154,3 +154,12 @@ func TestProcSharingAcrossScripts(t *testing.T) {
 	}
 	assertDiags(t, checkFixture(t, path), nil)
 }
+
+// TestPkgdocFixture exercises the package-doc analyzer: the undocumented
+// internal package is flagged at its package clause, the documented one
+// is not, and packages outside an internal/ tree are exempt.
+func TestPkgdocFixture(t *testing.T) {
+	assertDiags(t, checkFixture(t, filepath.Join("testdata", "pkgdoc")+string(filepath.Separator)+"..."), []string{
+		`testdata/pkgdoc/internal/nodoc/nodoc.go:1:1: package nodoc has no package doc comment (want a "Package ..." comment on one file's package clause) [pkgdoc]`,
+	})
+}

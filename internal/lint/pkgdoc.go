@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// Package-documentation analysis: every internal/ package must carry a
+// package doc comment — a comment block on some file's package clause
+// beginning "Package <name> ...". The layer map in docs/architecture.md
+// is built from these comments, so a missing one is a hole in the
+// documented architecture, not just a style nit.
+
+// CheckPackageDoc reports a diagnostic when dir is an internal/ package
+// directory and none of its (non-test) files documents the package.
+func CheckPackageDoc(dir string, fset *token.FileSet, files []*ast.File) []Diag {
+	if !isInternal(dir) {
+		return nil
+	}
+	var first *ast.File
+	for _, f := range files {
+		name := filepath.Base(fset.Position(f.Package).Filename)
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if first == nil {
+			first = f
+		}
+		if f.Doc != nil && strings.HasPrefix(f.Doc.Text(), "Package ") {
+			return nil
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	pos := fset.Position(first.Package)
+	return []Diag{{
+		File: pos.Filename,
+		Line: pos.Line,
+		Col:  pos.Column,
+		Rule: "pkgdoc",
+		Msg: "package " + first.Name.Name +
+			` has no package doc comment (want a "Package ..." comment on one file's package clause)`,
+	}}
+}
+
+// isInternal reports whether the directory path contains an "internal"
+// segment — the tree whose packages the architecture docs enumerate.
+func isInternal(dir string) bool {
+	for _, seg := range strings.Split(filepath.ToSlash(filepath.Clean(dir)), "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}

@@ -107,8 +107,9 @@ func (r *Runner) checkDir(dir string) error {
 	return r.checkGoFiles(dir, goFiles)
 }
 
-// checkGoFiles parses a directory's Go files once and runs all three
-// analyses over them.
+// checkGoFiles parses a directory's Go files once and runs every Go
+// analysis over them: script-literal linting, opcode-fact collection,
+// lock discipline, and package-doc presence.
 func (r *Runner) checkGoFiles(dir string, paths []string) error {
 	if len(paths) == 0 {
 		return nil
@@ -129,6 +130,7 @@ func (r *Runner) checkGoFiles(dir string, paths []string) error {
 		r.opcodes.Collect(fset, f)
 	}
 	r.diags = append(r.diags, CheckLocks(fset, files)...)
+	r.diags = append(r.diags, CheckPackageDoc(dir, fset, files)...)
 	return nil
 }
 

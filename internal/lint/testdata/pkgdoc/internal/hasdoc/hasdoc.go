@@ -1,0 +1,6 @@
+// Package hasdoc carries a proper package doc comment, so the pkgdoc
+// analyzer has nothing to say about it.
+package hasdoc
+
+// Answer is documented enough by its package.
+func Answer() int { return 42 }

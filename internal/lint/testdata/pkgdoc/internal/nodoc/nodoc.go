@@ -1,0 +1,5 @@
+package nodoc
+
+// Answer is exported but the package itself is undocumented: the
+// pkgdoc analyzer must flag the package clause above.
+func Answer() int { return 42 }

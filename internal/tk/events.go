@@ -149,12 +149,30 @@ func (app *App) DoOneEvent(wait bool) bool {
 			app.quitFlag.Store(true)
 			return false
 		}
+		app.evReceived++
 		app.DispatchEvent(&ev)
 		return true
 	case fn := <-app.posted:
 		fn()
 		return true
 	default:
+	}
+	// An event the read loop has queued but the feeder goroutine has not
+	// yet parked on the channel is still pending work: the non-blocking
+	// poll above races the feeder and can miss it, which would break
+	// Update's "Sync ⇒ events dispatched" contract. The counter
+	// comparison is race-free (see Display.EventsSeen), so when it shows
+	// an event in flight this blocking receive returns promptly — the
+	// feeder delivers it, or closes the channel on disconnect.
+	if app.evReceived < app.Disp.EventsSeen() {
+		ev, ok := <-app.Disp.Events()
+		if !ok {
+			app.quitFlag.Store(true)
+			return false
+		}
+		app.evReceived++
+		app.DispatchEvent(&ev)
+		return true
 	}
 	// 2. Expired timers.
 	if app.runDueTimers() {
@@ -184,6 +202,7 @@ func (app *App) DoOneEvent(wait bool) bool {
 			app.quitFlag.Store(true)
 			return false
 		}
+		app.evReceived++
 		app.DispatchEvent(&ev)
 		return true
 	case fn := <-app.posted:
@@ -293,8 +312,21 @@ func (app *App) DispatchEvent(ev *xproto.Event) {
 	// Keep the structure cache current (§3.3).
 	switch ev.Type {
 	case xproto.ConfigureNotify:
+		sizeChanged := int(ev.Width) != w.Width || int(ev.Height) != w.Height
 		w.X, w.Y = int(ev.X), int(ev.Y)
 		w.Width, w.Height = int(ev.Width), int(ev.Height)
+		// The server's notify can carry a size that differs from the
+		// optimistic cache (it reports configures in request order, so a
+		// notify for an older configure may land after a newer local
+		// resize). Any slaves laid out against the overwritten size are
+		// now stale: re-arrange, exactly as Tk's packer does on its
+		// master's ConfigureNotify. The repack is idempotent, so the
+		// layout converges once the final notify arrives.
+		if sizeChanged {
+			if packer := app.packerFor(w); packer != nil {
+				packer.scheduleRepack(w)
+			}
+		}
 	case xproto.MapNotify:
 		w.Mapped = true
 	case xproto.UnmapNotify:

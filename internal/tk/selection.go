@@ -162,6 +162,7 @@ func (app *App) pumpOnce() {
 			app.quitFlag.Store(true)
 			return
 		}
+		app.evReceived++
 		app.DispatchEvent(&ev)
 	case fn := <-app.posted:
 		fn()

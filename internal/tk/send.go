@@ -18,8 +18,9 @@ import (
 // way. Everything rides on ordinary X requests, so it works between
 // separate operating-system processes sharing one (simulated) display.
 
-// sendTimeout bounds how long a sender waits for the target to answer.
-const sendTimeout = 5 * time.Second
+// DefaultSendTimeout bounds how long a sender waits for the target to
+// answer; App.SendTimeout overrides it per application.
+const DefaultSendTimeout = 5 * time.Second
 
 // registryEntries parses the root-window registry property: one Tcl list
 // {xid name} per line.
@@ -83,13 +84,20 @@ func (app *App) unregisterName() {
 		return
 	}
 	app.registered = false
+	app.pruneRegistryName(app.Name)
+}
+
+// pruneRegistryName removes one named entry from the send registry —
+// our own on shutdown, or a vanished peer's when a send discovers its
+// communication window is gone.
+func (app *App) pruneRegistryName(name string) {
 	entries, err := app.registryEntries()
 	if err != nil {
 		return
 	}
 	out := entries[:0]
 	for _, e := range entries {
-		if e[1] != app.Name {
+		if e[1] != name {
 			out = append(out, e)
 		}
 	}
@@ -153,8 +161,12 @@ func (app *App) Send(target, script string) (string, error) {
 	// Pump events until the result arrives: the target may send us
 	// commands of its own in the meantime (reentrancy), and we must keep
 	// servicing them to avoid deadlock.
+	timeout := app.SendTimeout
+	if timeout <= 0 {
+		timeout = DefaultSendTimeout
+	}
 	begin := time.Now()
-	deadline := begin.Add(sendTimeout)
+	deadline := begin.Add(timeout)
 	for {
 		if res, ok := app.sendResults[serial]; ok {
 			delete(app.sendResults, serial)
@@ -167,7 +179,18 @@ func (app *App) Send(target, script string) (string, error) {
 			return res.result, nil
 		}
 		if time.Now().After(deadline) {
-			return "", fmt.Errorf("target application %q did not respond", target)
+			app.Metrics().Counter("tk.send.timeout").Inc()
+			// Probe the target's communication window: a peer that
+			// crashed or closed its display no longer has one (the server
+			// destroys a departed client's windows), so distinguish "dead
+			// and gone" from "alive but unresponsive" — and prune dead
+			// peers from the registry so `winfo interps` stops listing
+			// them and later sends fail fast.
+			if _, gerr := app.Disp.GetGeometry(commXID); gerr != nil && !app.Disp.Closed() {
+				app.pruneRegistryName(target)
+				return "", fmt.Errorf("target application %q has exited (its communication window is gone); removed it from the registry", target)
+			}
+			return "", fmt.Errorf("target application %q did not respond within %v", target, timeout)
 		}
 		if app.Quitting() {
 			return "", fmt.Errorf("application destroyed while waiting for send result")

@@ -3,6 +3,7 @@ package tk
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/xclient"
 	"repro/internal/xserver"
@@ -154,5 +155,84 @@ func TestCrashLeavesOthersWorking(t *testing.T) {
 	}
 	if _, err := app1.Interp.Eval(`winfo interps`); err != nil {
 		t.Fatalf("winfo interps after crash: %v", err)
+	}
+}
+
+// TestSendToVanishedPeerPrunesRegistry: a peer that crashed (connection
+// dropped, no clean unregister) leaves a stale registry entry. A send to
+// it must come back within the deadline with a clear error, and the
+// stale entry must be pruned so winfo interps stops listing it.
+func TestSendToVanishedPeerPrunesRegistry(t *testing.T) {
+	srv := xserver.New(800, 600)
+	defer srv.Close()
+	mk := func(name string) *App {
+		d, err := xclient.Open(srv.ConnectPipe())
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := NewApp(d, Config{Name: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return app
+	}
+	a := mk("alpha")
+	defer a.Destroy()
+	ghost := mk("ghost")
+
+	// Crash the peer: the server destroys its windows (including the
+	// communication window) but the registry entry survives.
+	ghost.Disp.Close()
+
+	a.SendTimeout = 300 * time.Millisecond
+	begin := time.Now()
+	_, err := a.Send("ghost", "set x 1")
+	elapsed := time.Since(begin)
+	if err == nil {
+		t.Fatal("send to vanished peer should fail")
+	}
+	if !strings.Contains(err.Error(), "has exited") {
+		t.Fatalf("want a gone-peer error, got: %v", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("send took %v; deadline was 300ms", elapsed)
+	}
+	// The stale entry is pruned: winfo interps no longer lists it, and
+	// the next send fails fast with unknown-interpreter.
+	for _, name := range a.Interps() {
+		if name == "ghost" {
+			t.Fatal("vanished peer still in registry after pruning")
+		}
+	}
+	if _, err := a.Send("ghost", "set x"); err == nil ||
+		!strings.Contains(err.Error(), "no registered interpreter") {
+		t.Fatalf("second send: %v", err)
+	}
+}
+
+// TestSendToUnresponsivePeerTimesOut: a peer that is alive (connection
+// up, comm window present) but never serving its event loop produces a
+// plain timeout error and is NOT pruned — it may just be busy.
+func TestSendToUnresponsivePeerTimesOut(t *testing.T) {
+	a, b := mkPair(t, "alpha", "beta")
+	_ = b // registered but never StartServing: alive yet unresponsive.
+
+	a.SendTimeout = 300 * time.Millisecond
+	begin := time.Now()
+	_, err := a.Send("beta", "set x 1")
+	if err == nil || !strings.Contains(err.Error(), "did not respond within") {
+		t.Fatalf("want timeout error, got: %v", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 3*time.Second {
+		t.Fatalf("send took %v; deadline was 300ms", elapsed)
+	}
+	found := false
+	for _, name := range a.Interps() {
+		if name == "beta" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("alive-but-busy peer must stay registered")
 	}
 }

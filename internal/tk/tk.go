@@ -9,9 +9,11 @@
 package tk
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/obs/xtrace"
@@ -127,6 +129,12 @@ type App struct {
 	// command exposes it.
 	Tracer *xtrace.Tracer
 
+	// SendTimeout bounds how long Send waits for a peer to answer
+	// before probing whether it is dead (and, if so, pruning it from
+	// the registry). Defaults to DefaultSendTimeout; zero or negative
+	// falls back to the default.
+	SendTimeout time.Duration
+
 	windows map[string]*Window
 	xidMap  map[xproto.ID]*Window
 
@@ -145,6 +153,12 @@ type App struct {
 	timers *timerQueue
 	idle   []func()
 	posted chan func()
+	// evReceived counts events taken off Disp.Events(), mirroring the
+	// display's EventsSeen count. When the two differ an event is in
+	// flight between the read loop and the channel, so a blocking
+	// receive is guaranteed to return promptly. Touched only on the
+	// event-loop goroutine (DoOneEvent / pumpOnce).
+	evReceived uint64
 	// quitFlag and destroyed are atomic because StartServing pumps the
 	// event loop in a background goroutine: bindings fired there (e.g.
 	// "destroy .", exit, Control-q handlers) set them while the main
@@ -218,6 +232,7 @@ func NewApp(d *xclient.Display, cfg Config) (*App, error) {
 		Interp:      in,
 		Disp:        d,
 		Tracer:      cfg.Trace,
+		SendTimeout: DefaultSendTimeout,
 		windows:     make(map[string]*Window, 32),
 		xidMap:      make(map[xproto.ID]*Window, 32),
 		bindings:    newBindingTable(),
@@ -231,6 +246,18 @@ func NewApp(d *xclient.Display, cfg Config) (*App, error) {
 		timers:      newTimerQueue(),
 		posted:      make(chan func(), 256),
 		sendResults: make(map[int]sendResult),
+	}
+
+	// Route the display's asynchronous errors (X errors for one-way
+	// requests, malformed events) through the tkerror convention. The
+	// handler fires on the client read loop, so hop to the event loop
+	// through the posted queue; if the queue is full the application is
+	// already wedged and the error stays visible in the display metrics.
+	d.ErrorHandler = func(msg string) {
+		select {
+		case app.posted <- func() { app.BackgroundError("display", errors.New(msg)) }:
+		default:
+		}
 	}
 
 	// Intern the toolkit's atoms: all four are issued as one pipelined

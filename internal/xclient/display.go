@@ -6,7 +6,9 @@
 package xclient
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -15,6 +17,20 @@ import (
 	"repro/internal/obs"
 	"repro/internal/xproto"
 )
+
+// ErrTimeout marks round-trip deadline expiry; test with errors.Is.
+var ErrTimeout = errors.New("timeout")
+
+// DefaultRoundTripTimeout bounds Cookie.Wait (and so every RoundTrip
+// and Sync) unless SetRoundTripTimeout overrides it. A reply that takes
+// this long means the server or the wire is wedged; waiting forever
+// would wedge the client with it.
+const DefaultRoundTripTimeout = 30 * time.Second
+
+// setupTimeout bounds the initial setup-block read in Open, so a dialed
+// connection to something that is not (or no longer) a display server
+// fails fast instead of hanging the caller.
+const setupTimeout = 10 * time.Second
 
 // Display is an open connection to a display server.
 type Display struct {
@@ -57,11 +73,21 @@ type Display struct {
 	evQueue []xproto.Event // guarded by evMu
 	evDone  bool           // guarded by evMu
 
+	// evSeen counts events the read loop has queued since Open. Because
+	// the read loop is sequential, by the time any round trip resolves
+	// the count covers every event the server sent before that reply —
+	// see EventsSeen.
+	evSeen atomic.Uint64
+
 	errMu  sync.Mutex
 	errors []string // guarded by errMu
 
 	readerDone chan struct{}
 	stop       chan struct{} // closed by Close; releases the feeder
+
+	// rtTimeout is the Cookie.Wait deadline in nanoseconds (0 disables);
+	// atomic so SetRoundTripTimeout may be called from any goroutine.
+	rtTimeout atomic.Int64
 
 	// metrics records client-side traffic: "requests" and per-opcode
 	// "requests.<OpName>" counters for everything sent, "async" for
@@ -70,8 +96,12 @@ type Display struct {
 	// pipelining layer adds the "inflight" gauge (waiters outstanding),
 	// the "pipelined" counter (reply-bearing requests issued while
 	// another was already in flight) and the "flush.batch" histogram
-	// (frames coalesced per wire write). The pointer is immutable after
-	// Open; the registry is safe for concurrent use.
+	// (frames coalesced per wire write). The hardening layer adds
+	// "errors.async" (protocol errors nobody was waiting on),
+	// "roundtrip.timeout" (Cookie.Wait deadline expiries) and
+	// "protocol.corrupt" (unreadable frame headers, each fatal to the
+	// connection). The pointer is immutable after Open; the registry is
+	// safe for concurrent use.
 	metrics *obs.Registry
 }
 
@@ -89,10 +119,25 @@ func Open(conn net.Conn) (*Display, error) {
 		metrics:    obs.NewRegistry(),
 	}
 	d.evCond = sync.NewCond(&d.evMu)
-	// The setup block arrives before anything else.
+	d.rtTimeout.Store(int64(DefaultRoundTripTimeout))
+	// The setup block arrives before anything else. Bound the wait so a
+	// dead endpoint fails the Open instead of hanging it.
+	conn.SetReadDeadline(time.Now().Add(setupTimeout))
 	kind, payload, err := xproto.ReadServerFrame(conn)
+	conn.SetReadDeadline(time.Time{})
 	if err != nil {
 		conn.Close()
+		// A server that is already shut down closes (or has closed) the
+		// connection before sending any setup block; distinguish that
+		// from a genuinely malformed stream so the caller sees what
+		// actually happened instead of a bare EOF.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+			errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+			return nil, fmt.Errorf("xclient: display server closed the connection during setup (server not running or already shut down): %w", err)
+		}
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return nil, fmt.Errorf("xclient: no connection setup block within %v (endpoint is not a display server, or is wedged): %w", setupTimeout, err)
+		}
 		return nil, fmt.Errorf("xclient: connection setup failed: %w", err)
 	}
 	if kind != xproto.KindReply {
@@ -153,42 +198,65 @@ func (d *Display) NewID() xproto.ID {
 // readLoop dispatches incoming server messages. Events go to the
 // unbounded queue so this loop never stalls on a slow consumer;
 // replies and errors are routed to their waiting cookie by sequence
-// number.
+// number. Any framing damage — a read error, a torn frame, an unknown
+// frame kind — is unrecoverable (stream alignment is gone), so it is
+// turned into one clean connection-lost error that fails every
+// outstanding and future cookie rather than hanging them.
 func (d *Display) readLoop() {
 	defer close(d.readerDone)
 	for {
 		kind, payload, err := xproto.ReadServerFrame(d.conn)
 		if err != nil {
-			d.evMu.Lock()
-			d.evDone = true
-			d.evCond.Signal()
-			d.evMu.Unlock()
-			// Fail every cookie still waiting for a reply, and every
-			// cookie registered from now on.
-			lost := fmt.Errorf("xclient: connection lost")
-			d.pendMu.Lock()
-			d.lostErr = lost
-			for seq, ck := range d.waiters {
-				delete(d.waiters, seq)
-				ck.resolve(nil, lost)
-			}
-			d.metrics.Gauge("inflight").Set(0)
-			d.pendMu.Unlock()
+			d.connLost(fmt.Errorf("xclient: connection lost: %w", err))
 			return
 		}
 		switch kind {
 		case xproto.KindEvent:
-			d.metrics.Counter("events").Inc()
 			var ev xproto.Event
-			ev.Decode(xproto.NewReader(payload))
+			r := xproto.NewReader(payload)
+			ev.Decode(r)
+			if r.Err() != nil {
+				// The frame itself was delimited correctly, so the
+				// stream is still aligned: surface the damage and skip
+				// the frame instead of killing the connection.
+				d.asyncError(fmt.Sprintf("malformed event: %v", r.Err()))
+				continue
+			}
+			d.metrics.Counter("events").Inc()
+			d.evSeen.Add(1)
 			d.evMu.Lock()
 			d.evQueue = append(d.evQueue, ev)
 			d.evCond.Signal()
 			d.evMu.Unlock()
 		case xproto.KindReply, xproto.KindError:
 			d.routeReply(kind, payload)
+		default:
+			// Garbage where a frame header should be: the stream can no
+			// longer be trusted byte-for-byte. Fail cleanly.
+			d.metrics.Counter("protocol.corrupt").Inc()
+			d.conn.Close()
+			d.connLost(fmt.Errorf("xclient: protocol corruption: unknown frame kind %d", kind))
+			return
 		}
 	}
+}
+
+// connLost marks the connection dead with its root cause: the event
+// queue is drained-and-closed, and every cookie still waiting (or
+// registered from now on) fails with err instead of blocking forever.
+func (d *Display) connLost(err error) {
+	d.evMu.Lock()
+	d.evDone = true
+	d.evCond.Signal()
+	d.evMu.Unlock()
+	d.pendMu.Lock()
+	d.lostErr = err
+	for seq, ck := range d.waiters {
+		delete(d.waiters, seq)
+		ck.resolve(nil, err)
+	}
+	d.metrics.Gauge("inflight").Set(0)
+	d.pendMu.Unlock()
 }
 
 // routeReply delivers one reply or error frame to the cookie waiting on
@@ -261,6 +329,18 @@ func (d *Display) feedEvents() {
 // connection drops.
 func (d *Display) Events() <-chan xproto.Event { return d.events }
 
+// EventsSeen returns the number of events the read loop has queued for
+// delivery since Open. The read loop is sequential, so once any round
+// trip completes the count includes every event the server sent before
+// that reply. A consumer that tracks how many events it has received
+// from Events() can therefore distinguish "nothing pending" from
+// "queued but not yet handed to the channel by the feeder": when the
+// counts differ, a blocking receive on Events() is guaranteed to
+// return promptly (the feeder delivers the event, or closes the
+// channel on disconnect). A non-blocking poll alone cannot tell — it
+// races the feeder goroutine.
+func (d *Display) EventsSeen() uint64 { return d.evSeen.Load() }
+
 // NextEvent blocks for the next event; ok is false after disconnect.
 func (d *Display) NextEvent() (xproto.Event, bool) {
 	ev, ok := <-d.events
@@ -277,8 +357,16 @@ func (d *Display) PollEvent() (xproto.Event, bool) {
 	}
 }
 
+// SetRoundTripTimeout replaces the deadline Cookie.Wait applies to
+// every round trip (DefaultRoundTripTimeout initially; 0 disables).
+// Safe to call from any goroutine.
+func (d *Display) SetRoundTripTimeout(timeout time.Duration) {
+	d.rtTimeout.Store(int64(timeout))
+}
+
 // asyncError records or reports a protocol error nobody is waiting on.
 func (d *Display) asyncError(msg string) {
+	d.metrics.Counter("errors.async").Inc()
 	if d.ErrorHandler != nil {
 		d.ErrorHandler(msg)
 		return
@@ -444,11 +532,31 @@ func (d *Display) failCookie(ck *Cookie, err error) {
 // can keep issuing requests and waiting on their own cookies. Protocol
 // errors for this request surface as the returned error. Calling Wait
 // again returns the same error outcome without re-decoding.
+//
+// The wait is bounded by the display's round-trip deadline
+// (SetRoundTripTimeout): a wedged server or wire resolves the cookie
+// with an error satisfying errors.Is(err, ErrTimeout) instead of
+// blocking the caller forever. A reply that arrives after the deadline
+// is reported through the async-error path, not delivered here.
 func (ck *Cookie) Wait(decode func(r *xproto.Reader)) error {
 	if err := ck.d.Flush(); err != nil {
 		ck.d.failCookie(ck, err)
 	}
-	<-ck.done
+	if to := time.Duration(ck.d.rtTimeout.Load()); to > 0 {
+		timer := time.NewTimer(to)
+		select {
+		case <-ck.done:
+			timer.Stop()
+		case <-timer.C:
+			ck.d.metrics.Counter("roundtrip.timeout").Inc()
+			ck.d.failCookie(ck, fmt.Errorf("xclient: round trip (seq %d) timed out after %v: %w", ck.seq, to, ErrTimeout))
+			// failCookie resolved the cookie unless the read loop beat
+			// us to it; either way done is closed now.
+			<-ck.done
+		}
+	} else {
+		<-ck.done
+	}
 	if ck.err != nil {
 		return ck.err
 	}

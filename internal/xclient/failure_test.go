@@ -1,6 +1,10 @@
 package xclient_test
 
 import (
+	"errors"
+	"io"
+	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -159,5 +163,134 @@ func TestAppSurvivesPeerDisconnect(t *testing.T) {
 	}
 	if _, err := d1.GetGeometry(w2); err == nil {
 		t.Fatal("dead client's window should be gone")
+	}
+}
+
+// fakeServer returns the client end of a pipe whose far end has already
+// delivered a valid setup block; the test script drives the far end.
+func fakeServer(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	client, server = net.Pipe()
+	w := xproto.NewWriter()
+	setup := &xproto.SetupReply{ResourceIDBase: 0x200000, Root: 1, Width: 400, Height: 300}
+	setup.Encode(w)
+	go xproto.WriteServerFrame(server, xproto.KindReply, w.Bytes())
+	return client, server
+}
+
+// TestOpenAgainstClosedServerFailsFast: the satellite bugfix — opening
+// a display on a server that has already shut down returns a clear,
+// prompt error rather than a generic EOF mid-setup.
+func TestOpenAgainstClosedServerFailsFast(t *testing.T) {
+	srv := xserver.New(400, 300)
+	srv.Close()
+	begin := time.Now()
+	_, err := xclient.Open(srv.ConnectPipe())
+	if err == nil {
+		t.Fatal("Open against a closed server must fail")
+	}
+	if !strings.Contains(err.Error(), "during setup") ||
+		!strings.Contains(err.Error(), "server not running or already shut down") {
+		t.Fatalf("want a clear setup-failure error, got: %v", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 5*time.Second {
+		t.Fatalf("Open took %v; should fail fast", elapsed)
+	}
+}
+
+// TestRoundTripDeadline: a server that accepts the connection but never
+// answers resolves Wait with ErrTimeout instead of hanging.
+func TestRoundTripDeadline(t *testing.T) {
+	client, server := fakeServer(t)
+	defer server.Close()
+	d, err := xclient.Open(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Swallow the ping without answering.
+	go io.Copy(io.Discard, server)
+
+	d.SetRoundTripTimeout(150 * time.Millisecond)
+	begin := time.Now()
+	err = d.Sync()
+	if !errors.Is(err, xclient.ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got: %v", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 3*time.Second {
+		t.Fatalf("timed out after %v; deadline was 150ms", elapsed)
+	}
+	if d.Metrics().Counter("roundtrip.timeout").Value() != 1 {
+		t.Fatalf("roundtrip.timeout counter = %d, want 1",
+			d.Metrics().Counter("roundtrip.timeout").Value())
+	}
+}
+
+// TestGarbageFrameKindFailsCookiesCleanly: an unreadable frame header
+// is unrecoverable; outstanding cookies fail with a corruption error
+// rather than blocking.
+func TestGarbageFrameKindFailsCookiesCleanly(t *testing.T) {
+	client, server := fakeServer(t)
+	defer server.Close()
+	d, err := xclient.Open(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	go io.Copy(io.Discard, server)
+
+	ck := d.SendWithReply(&xproto.PingReq{})
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Deliver a frame whose kind byte is garbage.
+	if err := xproto.WriteServerFrame(server, 0x7f, []byte("noise")); err != nil {
+		t.Fatal(err)
+	}
+	err = ck.Wait(nil)
+	if err == nil || !strings.Contains(err.Error(), "protocol corruption") {
+		t.Fatalf("want protocol corruption error, got: %v", err)
+	}
+	if d.Metrics().Counter("protocol.corrupt").Value() != 1 {
+		t.Fatal("protocol.corrupt counter should be 1")
+	}
+	// Later round trips fail immediately with the same root cause.
+	if err := d.Sync(); err == nil || !strings.Contains(err.Error(), "protocol corruption") {
+		t.Fatalf("post-corruption Sync: %v", err)
+	}
+}
+
+// TestMalformedEventSkippedStreamSurvives: a well-delimited but
+// undecodable event frame surfaces as an async error while the
+// connection keeps working.
+func TestMalformedEventSkippedStreamSurvives(t *testing.T) {
+	client, server := fakeServer(t)
+	defer server.Close()
+	d, err := xclient.Open(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// A 1-byte event payload cannot decode.
+	if err := xproto.WriteServerFrame(server, xproto.KindEvent, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Answer the subsequent ping by hand: seq 1, empty reply body.
+	go func() {
+		op, _, err := xproto.ReadRequestFrame(server)
+		if err != nil || op != xproto.OpPing {
+			return
+		}
+		w := xproto.NewWriter()
+		w.PutU64(1)
+		xproto.WriteServerFrame(server, xproto.KindReply, w.Bytes())
+	}()
+	if err := d.Sync(); err != nil {
+		t.Fatalf("Sync after malformed event: %v", err)
+	}
+	errs := d.TakeErrors()
+	if len(errs) != 1 || !strings.Contains(errs[0], "malformed event") {
+		t.Fatalf("async errors = %v, want one malformed-event report", errs)
 	}
 }

