@@ -72,11 +72,16 @@ func TestFixtureScripts(t *testing.T) {
 }
 
 // TestLocksFixture exercises the lock-discipline analyzer: only the
-// method that skips the lock is flagged; lock-held, defer-unlock and
-// "mu held" documented methods are not.
+// methods that skip (or hold the wrong one of several) locks are
+// flagged; lock-held, defer-unlock, RWMutex read-side and "mu held"
+// documented methods are not — including on a generic receiver, whose
+// type name the analyzer must unwrap from shard[V].
 func TestLocksFixture(t *testing.T) {
 	assertDiags(t, checkFixture(t, filepath.Join("testdata", "locks")), []string{
 		`testdata/locks/locks.go:23:11: counter.count (guarded by mu) accessed without holding mu [locks]`,
+		`testdata/locks/multi.go:36:4: registry.state (guarded by stateMu) accessed without holding stateMu [locks]`,
+		`testdata/locks/multi.go:50:11: registry.tab (guarded by tabMu) accessed without holding tabMu [locks]`,
+		`testdata/locks/multi.go:75:14: shard.m (guarded by mu) accessed without holding mu [locks]`,
 	})
 }
 

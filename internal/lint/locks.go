@@ -112,6 +112,15 @@ func receiverTypeName(t ast.Expr) string {
 	if star, ok := t.(*ast.StarExpr); ok {
 		t = star.X
 	}
+	// Generic receivers — (sh *shard[V]) or (m *table[K, V]) — wrap the
+	// type name in an index expression; unwrap to the base identifier so
+	// methods on generic types are analyzed like any others.
+	switch g := t.(type) {
+	case *ast.IndexExpr:
+		t = g.X
+	case *ast.IndexListExpr:
+		t = g.X
+	}
 	if id, ok := t.(*ast.Ident); ok {
 		return id.Name
 	}

@@ -1,0 +1,77 @@
+// Fixture for the harder lock-discipline shapes: a struct with several
+// named mutexes guarding disjoint fields, RWMutex read-side paths, and
+// a generic receiver (the analyzer must unwrap shard[V] to find the
+// guarded fields).
+package locks
+
+import "sync"
+
+// registry has two independently locked subsystems plus a read-mostly
+// table behind an RWMutex.
+type registry struct {
+	mu      sync.Mutex
+	entries int // guarded by mu
+
+	stateMu sync.Mutex
+	state   string // guarded by stateMu
+
+	tabMu sync.RWMutex
+	tab   map[string]int // guarded by tabMu
+}
+
+// GoodBoth locks each subsystem around its own field.
+func (r *registry) GoodBoth() {
+	r.mu.Lock()
+	r.entries++
+	r.mu.Unlock()
+	r.stateMu.Lock()
+	r.state = "ok"
+	r.stateMu.Unlock()
+}
+
+// BadCrossed holds mu but touches the stateMu-guarded field.
+func (r *registry) BadCrossed() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.state = "oops"
+}
+
+// GoodRead holds the read lock across the table read.
+func (r *registry) GoodRead(k string) int {
+	r.tabMu.RLock()
+	defer r.tabMu.RUnlock()
+	return r.tab[k]
+}
+
+// BadRead reads the table with the wrong subsystem's lock held.
+func (r *registry) BadRead(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tab[k]
+}
+
+// HeldBoth requires both locks on entry. Called with r.mu held and
+// r.stateMu held.
+func (r *registry) HeldBoth() {
+	r.entries++
+	r.state = "noted"
+}
+
+// shard is a generic map shard, the sharded-resource-table idiom.
+type shard[V any] struct {
+	mu sync.Mutex
+	m  map[string]V // guarded by mu
+}
+
+// Good locks around the access.
+func (sh *shard[V]) Good(k string, v V) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.m[k] = v
+}
+
+// Bad touches the guarded map lock-free.
+func (sh *shard[V]) Bad(k string) (V, bool) {
+	v, ok := sh.m[k]
+	return v, ok
+}

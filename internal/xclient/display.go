@@ -204,12 +204,19 @@ func (d *Display) NewID() xproto.ID {
 // outstanding and future cookie rather than hanging them.
 func (d *Display) readLoop() {
 	defer close(d.readerDone)
+	// Frames are read into a reusable scratch buffer. Events are decoded
+	// before the next read (Event.Decode copies what it keeps), so the
+	// steady-state event path allocates nothing; reply and error payloads
+	// outlive the loop iteration inside their cookie (decode happens
+	// lazily at Wait), so those are copied out of the scratch.
+	var scratch []byte
 	for {
-		kind, payload, err := xproto.ReadServerFrame(d.conn)
+		kind, payload, err := xproto.ReadServerFrameInto(d.conn, scratch)
 		if err != nil {
 			d.connLost(fmt.Errorf("xclient: connection lost: %w", err))
 			return
 		}
+		scratch = payload
 		switch kind {
 		case xproto.KindEvent:
 			var ev xproto.Event
@@ -229,7 +236,7 @@ func (d *Display) readLoop() {
 			d.evCond.Signal()
 			d.evMu.Unlock()
 		case xproto.KindReply, xproto.KindError:
-			d.routeReply(kind, payload)
+			d.routeReply(kind, append([]byte(nil), payload...))
 		default:
 			// Garbage where a frame header should be: the stream can no
 			// longer be trusted byte-for-byte. Fail cleanly.

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Message kinds on the server-to-client stream.
@@ -29,6 +30,26 @@ type Writer struct {
 
 // NewWriter returns a Writer with some preallocated capacity.
 func NewWriter() *Writer { return &Writer{buf: make([]byte, 0, 64)} }
+
+// writerPool recycles Writers for hot encode paths: the server's
+// reply/error/event senders acquire one, encode, copy the bytes into an
+// outbound frame, and release it, so steady-state encoding allocates
+// nothing.
+var writerPool = sync.Pool{
+	New: func() any { return &Writer{buf: make([]byte, 0, 256)} },
+}
+
+// AcquireWriter returns an empty Writer from the pool. Pair with
+// ReleaseWriter once the accumulated bytes have been copied out.
+func AcquireWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// ReleaseWriter returns w to the pool. The caller must not use w — or
+// any slice obtained from w.Bytes() — afterwards.
+func ReleaseWriter(w *Writer) { writerPool.Put(w) }
 
 // Reset clears the writer for reuse.
 func (w *Writer) Reset() { w.buf = w.buf[:0] }
@@ -204,6 +225,33 @@ func ReadRequestFrame(r io.Reader) (op uint16, payload []byte, err error) {
 	return op, payload, nil
 }
 
+// ReadRequestFrameInto is ReadRequestFrame with a caller-owned scratch
+// buffer: the returned payload aliases buf when it fits (buf is grown
+// otherwise), so a read loop that passes the previous payload back in
+// runs allocation-free once the buffer has grown to the workload's
+// largest request. The caller must fully consume each payload before
+// the next call; that is safe here because every request Decode copies
+// the variable-length fields it retains (see requests.go).
+func ReadRequestFrameInto(r io.Reader, buf []byte) (op uint16, payload []byte, err error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	op = binary.BigEndian.Uint16(hdr[:2])
+	n := binary.BigEndian.Uint32(hdr[2:])
+	if n > 64<<20 {
+		return 0, nil, fmt.Errorf("xproto: oversized request (%d bytes)", n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return op, payload, nil
+}
+
 // WriteRequestFrame writes one client-to-server frame.
 func WriteRequestFrame(w io.Writer, op uint16, payload []byte) error {
 	var hdr [2]byte
@@ -238,6 +286,31 @@ func ReadServerFrame(r io.Reader) (kind byte, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("xproto: oversized server message (%d bytes)", n)
 	}
 	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return kind, payload, nil
+}
+
+// ReadServerFrameInto is ReadServerFrame with a caller-owned scratch
+// buffer (the server-to-client mirror of ReadRequestFrameInto): the
+// returned payload aliases buf when it fits. Callers that hand a
+// payload to something outliving the next read — the client's reply
+// cookies decode lazily — must copy it first.
+func ReadServerFrameInto(r io.Reader, buf []byte) (kind byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	kind = hdr[0]
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > 64<<20 {
+		return 0, nil, fmt.Errorf("xproto: oversized server message (%d bytes)", n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}

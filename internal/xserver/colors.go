@@ -150,3 +150,31 @@ func lookupColor(name string) (uint32, bool) {
 	px, ok := namedColors[key]
 	return px, ok
 }
+
+// allocNamedColor resolves a color spec through the server's interned
+// cell cache (the stand-in for colormap cell allocation): a read-lock
+// hit for specs seen before — the common case once an application's
+// palette is warm — and a write-lock insert on first use. Misses are
+// cached too, so repeated bad specs don't re-parse.
+func (s *Server) allocNamedColor(name string) (uint32, bool) {
+	key := strings.ToLower(strings.ReplaceAll(name, " ", ""))
+	s.colorsMu.RLock()
+	px, ok := s.colorCells[key]
+	s.colorsMu.RUnlock()
+	if ok {
+		return px &^ cellMiss, px&cellMiss == 0
+	}
+	px, found := lookupColor(name)
+	cell := px
+	if !found {
+		cell = cellMiss
+	}
+	s.colorsMu.Lock()
+	s.colorCells[key] = cell
+	s.colorsMu.Unlock()
+	return px, found
+}
+
+// cellMiss marks a cached lookup failure in colorCells; pixel values
+// are 24-bit RGB, so bit 31 is free.
+const cellMiss = uint32(1) << 31

@@ -14,7 +14,7 @@ const (
 )
 
 // composite recursively paints w and its mapped descendants into dst with
-// w's content origin at (ox, oy). Called with s.mu held.
+// w's content origin at (ox, oy). Called with s.treeMu held.
 func (s *Server) composite(dst *image, w *window, ox, oy int) {
 	// Border.
 	if w.borderWidth > 0 {
@@ -49,8 +49,11 @@ func (s *Server) composite(dst *image, w *window, ox, oy int) {
 }
 
 // handleScreenshot renders the composited screen (or one window's
-// subtree) and replies with packed RGB pixels. Called with s.mu held.
+// subtree) and replies with packed RGB pixels. Takes s.treeMu for the
+// whole render so the tree cannot change mid-composite.
 func (s *Server) handleScreenshot(c *conn, q *xproto.ScreenshotReq) {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	var shot *image
 	if q.Window == xproto.None || q.Window == s.Root() {
 		shot = newImage(s.width, s.height)

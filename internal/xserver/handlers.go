@@ -6,38 +6,45 @@ import (
 	"repro/internal/xproto"
 )
 
-// handle executes one decoded request. Called with s.mu held.
+// handle executes one decoded request under the subsystem locks it
+// needs — there is no global lock (see the Server doc comment for the
+// model and the lock order). Tree-touching handlers take s.treeMu
+// themselves; resource requests touch only their sharded table;
+// atom/font/color requests take their subsystem RWMutex, read side
+// first.
 func (s *Server) handle(c *conn, req xproto.Request) {
 	switch q := req.(type) {
+	// --- Window tree, input and selections: treeMu. ------------------
 	case *xproto.CreateWindowReq:
 		s.handleCreateWindow(c, q)
 	case *xproto.ChangeWindowAttributesReq:
 		s.handleChangeAttributes(c, q)
 	case *xproto.DestroyWindowReq:
+		s.treeMu.Lock()
 		if w := s.windows[q.Window]; w != nil && w != s.root {
 			s.destroyWindow(w)
 		}
+		s.treeMu.Unlock()
 	case *xproto.MapWindowReq:
+		s.treeMu.Lock()
 		if w := s.windows[q.Window]; w != nil {
 			s.mapWindow(w)
 		} else {
 			c.protoError("MapWindow: bad window %d", q.Window)
 		}
+		s.treeMu.Unlock()
 	case *xproto.UnmapWindowReq:
+		s.treeMu.Lock()
 		if w := s.windows[q.Window]; w != nil {
 			s.unmapWindow(w)
 		}
+		s.treeMu.Unlock()
 	case *xproto.ConfigureWindowReq:
 		s.handleConfigureWindow(c, q)
 	case *xproto.GetGeometryReq:
 		s.handleGetGeometry(c, q)
 	case *xproto.QueryTreeReq:
 		s.handleQueryTree(c, q)
-	case *xproto.InternAtomReq:
-		s.handleInternAtom(c, q)
-	case *xproto.GetAtomNameReq:
-		name := s.atomNames[q.Atom]
-		c.reply(func(w *xproto.Writer) { (&xproto.NameReply{Name: name}).Encode(w) })
 	case *xproto.ChangePropertyReq:
 		s.handleChangeProperty(c, q)
 	case *xproto.DeletePropertyReq:
@@ -49,36 +56,71 @@ func (s *Server) handle(c *conn, req xproto.Request) {
 	case *xproto.SetSelectionOwnerReq:
 		s.handleSetSelectionOwner(c, q)
 	case *xproto.GetSelectionOwnerReq:
+		s.treeMu.Lock()
 		var owner xproto.ID
 		if sel := s.selections[q.Selection]; sel != nil && sel.owner != nil {
 			owner = sel.owner.id
 		}
+		s.treeMu.Unlock()
 		c.reply(func(w *xproto.Writer) { (&xproto.WindowReply{Window: owner}).Encode(w) })
 	case *xproto.ConvertSelectionReq:
 		s.handleConvertSelection(c, q)
 	case *xproto.SendEventReq:
 		s.handleSendEvent(c, q)
 	case *xproto.QueryPointerReq:
-		var child xproto.ID
-		if s.pointerWin != nil {
-			child = s.pointerWin.id
+		s.treeMu.Lock()
+		rep := &xproto.QueryPointerReply{
+			X: int16(s.pointerX), Y: int16(s.pointerY),
+			State: s.buttons | s.modifiers,
 		}
-		c.reply(func(w *xproto.Writer) {
-			(&xproto.QueryPointerReply{
-				X: int16(s.pointerX), Y: int16(s.pointerY),
-				State: s.buttons | s.modifiers, Child: child,
-			}).Encode(w)
-		})
+		if s.pointerWin != nil {
+			rep.Child = s.pointerWin.id
+		}
+		s.treeMu.Unlock()
+		c.reply(func(w *xproto.Writer) { rep.Encode(w) })
 	case *xproto.SetInputFocusReq:
+		s.treeMu.Lock()
 		s.setFocus(q.Focus)
+		s.treeMu.Unlock()
 	case *xproto.GetInputFocusReq:
-		c.reply(func(w *xproto.Writer) { (&xproto.WindowReply{Window: s.focus}).Encode(w) })
+		s.treeMu.Lock()
+		focus := s.focus
+		s.treeMu.Unlock()
+		c.reply(func(w *xproto.Writer) { (&xproto.WindowReply{Window: focus}).Encode(w) })
+	case *xproto.FakeInputReq:
+		s.treeMu.Lock()
+		s.handleFakeInput(q)
+		s.treeMu.Unlock()
+	case *xproto.ScreenshotReq:
+		s.handleScreenshot(c, q)
+	case *xproto.ClearAreaReq:
+		s.handleClearArea(c, q)
+	case *xproto.CopyAreaReq:
+		s.handleCopyArea(c, q)
+
+	// --- Atoms: read-mostly table behind atomsMu. --------------------
+	case *xproto.InternAtomReq:
+		s.handleInternAtom(c, q)
+	case *xproto.GetAtomNameReq:
+		s.atomsMu.RLock()
+		name := s.atomNames[q.Atom]
+		s.atomsMu.RUnlock()
+		c.reply(func(w *xproto.Writer) { (&xproto.NameReply{Name: name}).Encode(w) })
+
+	// --- Fonts: read-mostly map; font objects immutable once open. ---
 	case *xproto.OpenFontReq:
-		s.fonts[q.Fid] = openFont(q.Name)
+		f := openFont(q.Name)
+		s.fontsMu.Lock()
+		s.fonts[q.Fid] = f
+		s.fontsMu.Unlock()
 	case *xproto.CloseFontReq:
+		s.fontsMu.Lock()
 		delete(s.fonts, q.Fid)
+		s.fontsMu.Unlock()
 	case *xproto.QueryFontReq:
+		s.fontsMu.RLock()
 		f := s.fonts[q.Fid]
+		s.fontsMu.RUnlock()
 		if f == nil {
 			c.protoError("QueryFont: bad font %d", q.Fid)
 			return
@@ -86,7 +128,9 @@ func (s *Server) handle(c *conn, req xproto.Request) {
 		rep := &xproto.QueryFontReply{Ascent: int16(f.ascent), Descent: int16(f.descent), Widths: f.widths()}
 		c.reply(func(w *xproto.Writer) { rep.Encode(w) })
 	case *xproto.QueryTextExtentsReq:
+		s.fontsMu.RLock()
 		f := s.fonts[q.Fid]
+		s.fontsMu.RUnlock()
 		if f == nil {
 			c.protoError("QueryTextExtents: bad font %d", q.Fid)
 			return
@@ -97,78 +141,90 @@ func (s *Server) handle(c *conn, req xproto.Request) {
 			Width:   int32(f.textWidth(q.Text)),
 		}
 		c.reply(func(w *xproto.Writer) { rep.Encode(w) })
-	case *xproto.CreatePixmapReq:
-		s.pixmaps[q.Pid] = newImage(int(q.Width), int(q.Height))
-	case *xproto.FreePixmapReq:
-		delete(s.pixmaps, q.Pid)
-	case *xproto.CreateGCReq:
-		gc := &gcontext{foreground: 0, background: 0xffffff, lineWidth: 1, owner: c}
-		applyGC(gc, q.Mask, q.Foreground, q.Background, q.LineWidth, q.Font)
-		s.gcs[q.Gid] = gc
-	case *xproto.ChangeGCReq:
-		gc := s.gcs[q.Gid]
-		if gc == nil {
-			c.protoError("ChangeGC: bad gc %d", q.Gid)
-			return
-		}
-		applyGC(gc, q.Mask, q.Foreground, q.Background, q.LineWidth, q.Font)
-	case *xproto.FreeGCReq:
-		delete(s.gcs, q.Gid)
-	case *xproto.ClearAreaReq:
-		s.handleClearArea(c, q)
-	case *xproto.CopyAreaReq:
-		s.handleCopyArea(c, q)
-	case *xproto.PolyLineReq:
-		if im, gc := s.drawable(q.Drawable), s.gcs[q.Gc]; im != nil && gc != nil {
-			for i := 0; i+1 < len(q.Points); i++ {
-				im.drawLine(int(q.Points[i].X), int(q.Points[i].Y),
-					int(q.Points[i+1].X), int(q.Points[i+1].Y), gc.lineWidth, gc.foreground)
-			}
-		}
-	case *xproto.PolySegmentReq:
-		if im, gc := s.drawable(q.Drawable), s.gcs[q.Gc]; im != nil && gc != nil {
-			for i := 0; i+1 < len(q.Points); i += 2 {
-				im.drawLine(int(q.Points[i].X), int(q.Points[i].Y),
-					int(q.Points[i+1].X), int(q.Points[i+1].Y), gc.lineWidth, gc.foreground)
-			}
-		}
-	case *xproto.PolyRectangleReq:
-		if im, gc := s.drawable(q.Drawable), s.gcs[q.Gc]; im != nil && gc != nil {
-			for _, rc := range q.Rects {
-				im.drawRect(int(rc.X), int(rc.Y), int(rc.W), int(rc.H), gc.lineWidth, gc.foreground)
-			}
-		}
-	case *xproto.FillPolyReq:
-		if im, gc := s.drawable(q.Drawable), s.gcs[q.Gc]; im != nil && gc != nil {
-			im.fillPoly(q.Points, gc.foreground)
-		}
-	case *xproto.PolyFillRectangleReq:
-		if im, gc := s.drawable(q.Drawable), s.gcs[q.Gc]; im != nil && gc != nil {
-			for _, rc := range q.Rects {
-				im.fillRect(int(rc.X), int(rc.Y), int(rc.W), int(rc.H), gc.foreground)
-			}
-		}
-	case *xproto.PolyText8Req:
-		s.handleDrawText(c, q.Drawable, q.Gc, q.X, q.Y, q.Text, false)
-	case *xproto.ImageText8Req:
-		s.handleDrawText(c, q.Drawable, q.Gc, q.X, q.Y, q.Text, true)
+
+	// --- Colors: pure math plus the interned-cell cache. -------------
 	case *xproto.AllocColorReq:
 		px := uint32(q.R>>8)<<16 | uint32(q.G>>8)<<8 | uint32(q.B>>8)
 		rep := &xproto.ColorReply{Found: true, Pixel: px, R: q.R, G: q.G, B: q.B}
 		c.reply(func(w *xproto.Writer) { rep.Encode(w) })
 	case *xproto.AllocNamedColorReq:
-		px, ok := lookupColor(q.Name)
+		px, ok := s.allocNamedColor(q.Name)
 		rep := &xproto.ColorReply{Found: ok, Pixel: px,
 			R: uint16(px>>16&0xff) * 0x101, G: uint16(px>>8&0xff) * 0x101, B: uint16(px&0xff) * 0x101}
 		c.reply(func(w *xproto.Writer) { rep.Encode(w) })
+
+	// --- Per-client resources: sharded tables, shard locks only. -----
+	case *xproto.CreatePixmapReq:
+		p := &pixmap{img: newImage(int(q.Width), int(q.Height))}
+		p.mu.Instrument(s.metrics.Histogram("lockwait.pixmaps"))
+		s.pixmaps.set(q.Pid, p)
+	case *xproto.FreePixmapReq:
+		s.pixmaps.delete(q.Pid)
+	case *xproto.CreateGCReq:
+		gc := &gcontext{foreground: 0, background: 0xffffff, lineWidth: 1, owner: c}
+		applyGC(gc, q.Mask, q.Foreground, q.Background, q.LineWidth, q.Font)
+		s.gcs.set(q.Gid, gc)
+	case *xproto.ChangeGCReq:
+		ok := s.gcs.with(q.Gid, func(gc *gcontext) {
+			applyGC(gc, q.Mask, q.Foreground, q.Background, q.LineWidth, q.Font)
+		})
+		if !ok {
+			c.protoError("ChangeGC: bad gc %d", q.Gid)
+		}
+	case *xproto.FreeGCReq:
+		s.gcs.delete(q.Gid)
 	case *xproto.CreateCursorReq:
-		s.cursors[q.Cid] = q.Shape
+		s.cursors.set(q.Cid, q.Shape)
+
+	// --- Drawing: GC snapshot, then the drawable's own lock. ---------
+	case *xproto.PolyLineReq:
+		if gc, ok := s.gcSnapshot(q.Gc); ok {
+			s.withDrawable(q.Drawable, func(im *image) {
+				for i := 0; i+1 < len(q.Points); i++ {
+					im.drawLine(int(q.Points[i].X), int(q.Points[i].Y),
+						int(q.Points[i+1].X), int(q.Points[i+1].Y), gc.lineWidth, gc.foreground)
+				}
+			})
+		}
+	case *xproto.PolySegmentReq:
+		if gc, ok := s.gcSnapshot(q.Gc); ok {
+			s.withDrawable(q.Drawable, func(im *image) {
+				for i := 0; i+1 < len(q.Points); i += 2 {
+					im.drawLine(int(q.Points[i].X), int(q.Points[i].Y),
+						int(q.Points[i+1].X), int(q.Points[i+1].Y), gc.lineWidth, gc.foreground)
+				}
+			})
+		}
+	case *xproto.PolyRectangleReq:
+		if gc, ok := s.gcSnapshot(q.Gc); ok {
+			s.withDrawable(q.Drawable, func(im *image) {
+				for _, rc := range q.Rects {
+					im.drawRect(int(rc.X), int(rc.Y), int(rc.W), int(rc.H), gc.lineWidth, gc.foreground)
+				}
+			})
+		}
+	case *xproto.FillPolyReq:
+		if gc, ok := s.gcSnapshot(q.Gc); ok {
+			s.withDrawable(q.Drawable, func(im *image) {
+				im.fillPoly(q.Points, gc.foreground)
+			})
+		}
+	case *xproto.PolyFillRectangleReq:
+		if gc, ok := s.gcSnapshot(q.Gc); ok {
+			s.withDrawable(q.Drawable, func(im *image) {
+				for _, rc := range q.Rects {
+					im.fillRect(int(rc.X), int(rc.Y), int(rc.W), int(rc.H), gc.foreground)
+				}
+			})
+		}
+	case *xproto.PolyText8Req:
+		s.handleDrawText(c, q.Drawable, q.Gc, q.X, q.Y, q.Text, false)
+	case *xproto.ImageText8Req:
+		s.handleDrawText(c, q.Drawable, q.Gc, q.X, q.Y, q.Text, true)
+
+	// --- Lock-free odds and ends. ------------------------------------
 	case *xproto.BellReq:
 		// The simulated bell rings silently.
-	case *xproto.FakeInputReq:
-		s.handleFakeInput(q)
-	case *xproto.ScreenshotReq:
-		s.handleScreenshot(c, q)
 	case *xproto.PingReq:
 		c.reply(func(w *xproto.Writer) {})
 	case *xproto.SetLatencyReq:
@@ -185,6 +241,8 @@ func (s *Server) handle(c *conn, req xproto.Request) {
 	}
 }
 
+// applyGC mutates gc per mask. Callers hold the gcs shard lock holding
+// gc (CreateGC applies before publication).
 func applyGC(gc *gcontext, mask, fg, bg uint32, lw uint16, font xproto.ID) {
 	if mask&xproto.GCForeground != 0 {
 		gc.foreground = fg
@@ -200,16 +258,38 @@ func applyGC(gc *gcontext, mask, fg, bg uint32, lw uint16, font xproto.ID) {
 	}
 }
 
-// drawable resolves an ID to its pixel buffer (window or pixmap). Called with s.mu held.
-func (s *Server) drawable(id xproto.ID) *image {
-	if w := s.windows[id]; w != nil {
-		return w.img
-	}
-	return s.pixmaps[id]
+// gcSnapshot returns a value copy of the GC taken under its shard lock,
+// so drawing paths work from a stable view without holding any lock
+// across the pixel operations (which take the drawable's own lock).
+func (s *Server) gcSnapshot(id xproto.ID) (gcontext, bool) {
+	var g gcontext
+	ok := s.gcs.with(id, func(gc *gcontext) { g = *gc })
+	return g, ok
 }
 
-// Called with s.mu held.
+// withDrawable runs fn on id's pixel buffer under the lock guarding it:
+// the pixmap's own mutex for pixmaps, treeMu for windows. Reports
+// whether the drawable exists. Nothing else is held on entry, so this
+// respects the lock order trivially.
+func (s *Server) withDrawable(id xproto.ID, fn func(im *image)) bool {
+	if p, ok := s.pixmaps.get(id); ok {
+		p.with(fn)
+		return true
+	}
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
+	w := s.windows[id]
+	if w == nil {
+		return false
+	}
+	fn(w.img)
+	return true
+}
+
+// handleCreateWindow creates a window under treeMu.
 func (s *Server) handleCreateWindow(c *conn, q *xproto.CreateWindowReq) {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	parent := s.windows[q.Parent]
 	if parent == nil {
 		c.protoError("CreateWindow: bad parent %d", q.Parent)
@@ -243,8 +323,16 @@ func (s *Server) handleCreateWindow(c *conn, q *xproto.CreateWindowReq) {
 	s.windows[q.Wid] = w
 }
 
-// Called with s.mu held.
+// handleChangeAttributes updates window attributes under treeMu. The
+// cursor table is its own subsystem, so the cursor shape is resolved
+// before treeMu is taken — no two subsystem locks ever nest here.
 func (s *Server) handleChangeAttributes(c *conn, q *xproto.ChangeWindowAttributesReq) {
+	var cursorShape string
+	if q.Mask&xproto.AttrCursor != 0 {
+		cursorShape, _ = s.cursors.get(q.Cursor)
+	}
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	w := s.windows[q.Window]
 	if w == nil {
 		c.protoError("ChangeWindowAttributes: bad window %d", q.Window)
@@ -267,12 +355,14 @@ func (s *Server) handleChangeAttributes(c *conn, q *xproto.ChangeWindowAttribute
 		w.override = q.OverrideRedirect
 	}
 	if q.Mask&xproto.AttrCursor != 0 {
-		w.cursor = s.cursors[q.Cursor]
+		w.cursor = cursorShape
 	}
 }
 
-// Called with s.mu held.
+// handleConfigureWindow moves/resizes/restacks a window under treeMu.
 func (s *Server) handleConfigureWindow(c *conn, q *xproto.ConfigureWindowReq) {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	w := s.windows[q.Window]
 	if w == nil || w == s.root {
 		c.protoError("ConfigureWindow: bad window %d", q.Window)
@@ -322,26 +412,32 @@ func (s *Server) handleConfigureWindow(c *conn, q *xproto.ConfigureWindowReq) {
 	s.refreshPointerWindow()
 }
 
-// Called with s.mu held.
+// handleGetGeometry answers for windows (under treeMu) and pixmaps
+// (dimensions are immutable — no lock needed).
 func (s *Server) handleGetGeometry(c *conn, q *xproto.GetGeometryReq) {
+	s.treeMu.Lock()
 	if w := s.windows[q.Drawable]; w != nil {
 		rep := &xproto.GeometryReply{
 			Root: s.Root(), X: int16(w.x), Y: int16(w.y),
 			Width: uint16(w.w), Height: uint16(w.h), BorderWidth: uint16(w.borderWidth),
 		}
+		s.treeMu.Unlock()
 		c.reply(func(wr *xproto.Writer) { rep.Encode(wr) })
 		return
 	}
-	if im := s.pixmaps[q.Drawable]; im != nil {
-		rep := &xproto.GeometryReply{Width: uint16(im.w), Height: uint16(im.h)}
+	s.treeMu.Unlock()
+	if p, ok := s.pixmaps.get(q.Drawable); ok {
+		rep := &xproto.GeometryReply{Width: uint16(p.img.w), Height: uint16(p.img.h)}
 		c.reply(func(wr *xproto.Writer) { rep.Encode(wr) })
 		return
 	}
 	c.protoError("GetGeometry: bad drawable %d", q.Drawable)
 }
 
-// Called with s.mu held.
+// handleQueryTree reports a window's parent and children under treeMu.
 func (s *Server) handleQueryTree(c *conn, q *xproto.QueryTreeReq) {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	w := s.windows[q.Window]
 	if w == nil {
 		c.protoError("QueryTree: bad window %d", q.Window)
@@ -357,20 +453,31 @@ func (s *Server) handleQueryTree(c *conn, q *xproto.QueryTreeReq) {
 	c.reply(func(wr *xproto.Writer) { rep.Encode(wr) })
 }
 
-// Called with s.mu held.
+// handleInternAtom interns an atom: read-lock fast path for the
+// intern-once-read-forever workload, write lock only on a miss (with a
+// re-check, since another client may have interned between the locks).
 func (s *Server) handleInternAtom(c *conn, q *xproto.InternAtomReq) {
+	s.atomsMu.RLock()
 	a, ok := s.atoms[q.Name]
+	s.atomsMu.RUnlock()
 	if !ok && !q.OnlyIfExists {
-		a = s.nextAtom
-		s.nextAtom++
-		s.atoms[q.Name] = a
-		s.atomNames[a] = q.Name
+		s.atomsMu.Lock()
+		a, ok = s.atoms[q.Name]
+		if !ok {
+			a = s.nextAtom
+			s.nextAtom++
+			s.atoms[q.Name] = a
+			s.atomNames[a] = q.Name
+		}
+		s.atomsMu.Unlock()
 	}
 	c.reply(func(w *xproto.Writer) { (&xproto.AtomReply{Atom: a}).Encode(w) })
 }
 
-// Called with s.mu held.
+// handleChangeProperty updates a window property under treeMu.
 func (s *Server) handleChangeProperty(c *conn, q *xproto.ChangePropertyReq) {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	w := s.windows[q.Window]
 	if w == nil {
 		c.protoError("ChangeProperty: bad window %d", q.Window)
@@ -388,8 +495,10 @@ func (s *Server) handleChangeProperty(c *conn, q *xproto.ChangePropertyReq) {
 	s.sendPropertyNotify(w, q.Property, xproto.PropertyNewValue)
 }
 
-// Called with s.mu held.
+// handleDeleteProperty removes a window property under treeMu.
 func (s *Server) handleDeleteProperty(c *conn, q *xproto.DeletePropertyReq) {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	w := s.windows[q.Window]
 	if w == nil {
 		return
@@ -400,8 +509,11 @@ func (s *Server) handleDeleteProperty(c *conn, q *xproto.DeletePropertyReq) {
 	}
 }
 
-// Called with s.mu held.
+// handleGetProperty reads (and optionally deletes) a property under
+// treeMu.
 func (s *Server) handleGetProperty(c *conn, q *xproto.GetPropertyReq) {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	w := s.windows[q.Window]
 	if w == nil {
 		c.protoError("GetProperty: bad window %d", q.Window)
@@ -416,8 +528,10 @@ func (s *Server) handleGetProperty(c *conn, q *xproto.GetPropertyReq) {
 	}
 }
 
-// Called with s.mu held.
+// handleListProperties lists a window's property atoms under treeMu.
 func (s *Server) handleListProperties(c *conn, q *xproto.ListPropertiesReq) {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	w := s.windows[q.Window]
 	if w == nil {
 		c.protoError("ListProperties: bad window %d", q.Window)
@@ -431,8 +545,10 @@ func (s *Server) handleListProperties(c *conn, q *xproto.ListPropertiesReq) {
 	c.reply(func(wr *xproto.Writer) { rep.Encode(wr) })
 }
 
-// Called with s.mu held.
+// handleSetSelectionOwner transfers selection ownership under treeMu.
 func (s *Server) handleSetSelectionOwner(c *conn, q *xproto.SetSelectionOwnerReq) {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	var newOwner *window
 	if q.Owner != xproto.None {
 		newOwner = s.windows[q.Owner]
@@ -461,8 +577,10 @@ func (s *Server) handleSetSelectionOwner(c *conn, q *xproto.SetSelectionOwnerReq
 	}
 }
 
-// Called with s.mu held.
+// handleConvertSelection routes a selection conversion under treeMu.
 func (s *Server) handleConvertSelection(c *conn, q *xproto.ConvertSelectionReq) {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	requestor := s.windows[q.Requestor]
 	if requestor == nil {
 		c.protoError("ConvertSelection: bad requestor %d", q.Requestor)
@@ -498,8 +616,10 @@ func (s *Server) handleConvertSelection(c *conn, q *xproto.ConvertSelectionReq) 
 	sel.owner.owner.sendEvent(ev)
 }
 
-// Called with s.mu held.
+// handleSendEvent forwards a client-constructed event under treeMu.
 func (s *Server) handleSendEvent(c *conn, q *xproto.SendEventReq) {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	w := s.windows[q.Destination]
 	if w == nil {
 		c.protoError("SendEvent: bad window %d", q.Destination)
@@ -522,8 +642,10 @@ func (s *Server) handleSendEvent(c *conn, q *xproto.SendEventReq) {
 	}
 }
 
-// Called with s.mu held.
+// handleClearArea clears a window rectangle under treeMu.
 func (s *Server) handleClearArea(c *conn, q *xproto.ClearAreaReq) {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
 	w := s.windows[q.Window]
 	if w == nil {
 		c.protoError("ClearArea: bad window %d", q.Window)
@@ -539,31 +661,88 @@ func (s *Server) handleClearArea(c *conn, q *xproto.ClearAreaReq) {
 	w.img.fillRect(int(q.X), int(q.Y), wd, ht, w.background)
 }
 
-// Called with s.mu held.
+// handleCopyArea copies pixels between drawables, taking only the locks
+// the pair needs: two pixmap locks nest in ascending ID order; a mixed
+// window/pixmap pair takes treeMu before the pixmap lock (the
+// documented order); window-to-window needs treeMu alone.
 func (s *Server) handleCopyArea(c *conn, q *xproto.CopyAreaReq) {
-	src := s.drawable(q.Src)
-	dst := s.drawable(q.Dst)
-	if src == nil || dst == nil {
-		c.protoError("CopyArea: bad drawable")
-		return
+	sp, sIsPix := s.pixmaps.get(q.Src)
+	dp, dIsPix := s.pixmaps.get(q.Dst)
+	copyRect := func(dst, src *image) {
+		dst.copyFrom(src, int(q.SrcX), int(q.SrcY), int(q.DstX), int(q.DstY), int(q.Width), int(q.Height))
 	}
-	dst.copyFrom(src, int(q.SrcX), int(q.SrcY), int(q.DstX), int(q.DstY), int(q.Width), int(q.Height))
+	switch {
+	case sIsPix && dIsPix:
+		if sp == dp {
+			sp.with(func(im *image) { copyRect(im, im) })
+			return
+		}
+		lo, hi := sp, dp
+		if q.Dst < q.Src {
+			lo, hi = dp, sp
+		}
+		lo.mu.Lock()
+		hi.mu.Lock()
+		copyRect(dp.img, sp.img)
+		hi.mu.Unlock()
+		lo.mu.Unlock()
+	case sIsPix:
+		s.treeMu.Lock()
+		w := s.windows[q.Dst]
+		if w == nil {
+			s.treeMu.Unlock()
+			c.protoError("CopyArea: bad drawable")
+			return
+		}
+		sp.with(func(im *image) { copyRect(w.img, im) })
+		s.treeMu.Unlock()
+	case dIsPix:
+		s.treeMu.Lock()
+		w := s.windows[q.Src]
+		if w == nil {
+			s.treeMu.Unlock()
+			c.protoError("CopyArea: bad drawable")
+			return
+		}
+		dp.with(func(im *image) { copyRect(im, w.img) })
+		s.treeMu.Unlock()
+	default:
+		s.treeMu.Lock()
+		src := s.windows[q.Src]
+		dst := s.windows[q.Dst]
+		if src == nil || dst == nil {
+			s.treeMu.Unlock()
+			c.protoError("CopyArea: bad drawable")
+			return
+		}
+		copyRect(dst.img, src.img)
+		s.treeMu.Unlock()
+	}
 }
 
-// Called with s.mu held.
+// handleDrawText draws text into a drawable. The GC and font are
+// snapshotted under their own locks first (fonts are immutable once
+// opened, so f outlives the read lock), then the drawable's lock is
+// taken for the pixel work.
 func (s *Server) handleDrawText(c *conn, drawable, gcID xproto.ID, x, y int16, text string, imageText bool) {
-	im := s.drawable(drawable)
-	gc := s.gcs[gcID]
-	if im == nil || gc == nil {
+	gc, ok := s.gcSnapshot(gcID)
+	if !ok {
 		c.protoError("DrawText: bad drawable or gc")
 		return
 	}
+	s.fontsMu.RLock()
 	f := s.fonts[gc.font]
+	s.fontsMu.RUnlock()
 	if f == nil {
 		f = openFont("fixed")
 	}
-	if imageText {
-		im.fillRect(int(x), int(y)-f.ascent, f.textWidth(text), f.ascent+f.descent, gc.background)
+	drew := s.withDrawable(drawable, func(im *image) {
+		if imageText {
+			im.fillRect(int(x), int(y)-f.ascent, f.textWidth(text), f.ascent+f.descent, gc.background)
+		}
+		f.drawString(im, int(x), int(y), text, gc.foreground)
+	})
+	if !drew {
+		c.protoError("DrawText: bad drawable or gc")
 	}
-	f.drawString(im, int(x), int(y), text, gc.foreground)
 }

@@ -1,0 +1,126 @@
+package xserver
+
+import (
+	"repro/internal/obs"
+	"repro/internal/xproto"
+)
+
+// resShards is the shard count for per-client resource tables. Resource
+// IDs are allocated from per-connection ranges (0x00200000 apart), so
+// consecutive IDs from one client spread across shards and different
+// clients' IDs land on independent shards most of the time.
+const resShards = 16
+
+// resShard is one shard of a resTable: a plain map under its own
+// mutex. The mutex is a TimedMutex so shard contention shows up in the
+// table's lockwait histogram alongside the subsystem mutexes.
+type resShard[V any] struct {
+	mu obs.TimedMutex
+	m  map[xproto.ID]V // guarded by mu
+}
+
+// get returns the value for id, if present.
+func (sh *resShard[V]) get(id xproto.ID) (V, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, ok := sh.m[id]
+	return v, ok
+}
+
+// set stores v under id.
+func (sh *resShard[V]) set(id xproto.ID, v V) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.m[id] = v
+}
+
+// delete removes id.
+func (sh *resShard[V]) delete(id xproto.ID) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.m, id)
+}
+
+// with runs fn on the value for id while the shard lock is held, so fn
+// may mutate a pointee (e.g. applyGC on a *gcontext) without the value
+// racing concurrent readers on the same shard. Reports whether id was
+// present.
+func (sh *resShard[V]) with(id xproto.ID, fn func(v V)) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, ok := sh.m[id]
+	if ok {
+		fn(v)
+	}
+	return ok
+}
+
+// sweep deletes every entry for which drop returns true.
+func (sh *resShard[V]) sweep(drop func(v V) bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for id, v := range sh.m {
+		if drop(v) {
+			delete(sh.m, id)
+		}
+	}
+}
+
+// size returns the shard's entry count.
+func (sh *resShard[V]) size() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.m)
+}
+
+// resTable is a sharded ID-keyed resource map (GCs, pixmaps, cursors):
+// clients touching disjoint resources take disjoint shard locks and
+// never contend. Shard locks are leaves in the server's lock order
+// (docs/architecture.md "The locking model"): no other server mutex is
+// acquired while one is held, and at most one shard lock is held at a
+// time.
+type resTable[V any] struct {
+	shards [resShards]resShard[V]
+}
+
+// newResTable returns an empty table whose shard locks record waits
+// into hist (shared across shards — the histogram is concurrent-safe).
+func newResTable[V any](hist *obs.Histogram) *resTable[V] {
+	t := &resTable[V]{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[xproto.ID]V)
+		t.shards[i].mu.Instrument(hist)
+	}
+	return t
+}
+
+func (t *resTable[V]) shard(id xproto.ID) *resShard[V] {
+	// Fold the per-connection ID-range base (multiples of 1<<21, see
+	// ServeConn) into the low bits: without it every client's k-th
+	// resource would map to the same shard.
+	h := uint32(id) ^ uint32(id)>>21
+	return &t.shards[h%resShards]
+}
+
+func (t *resTable[V]) get(id xproto.ID) (V, bool)           { return t.shard(id).get(id) }
+func (t *resTable[V]) set(id xproto.ID, v V)                { t.shard(id).set(id, v) }
+func (t *resTable[V]) delete(id xproto.ID)                  { t.shard(id).delete(id) }
+func (t *resTable[V]) with(id xproto.ID, fn func(v V)) bool { return t.shard(id).with(id, fn) }
+
+// sweep removes every entry for which drop returns true, shard by
+// shard (no global freeze — fine for disconnect cleanup).
+func (t *resTable[V]) sweep(drop func(v V) bool) {
+	for i := range t.shards {
+		t.shards[i].sweep(drop)
+	}
+}
+
+// size returns the total entry count across shards. Point-in-time per
+// shard; exact when writers are quiesced (how the tests use it).
+func (t *resTable[V]) size() int {
+	n := 0
+	for i := range t.shards {
+		n += t.shards[i].size()
+	}
+	return n
+}

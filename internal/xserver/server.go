@@ -23,60 +23,113 @@ import (
 
 // Server is a simulated X display.
 //
-// mu serializes all request handling: every mutable field below carries
-// a "guarded by mu" annotation, and cmd/tkcheck's lock analyzer checks
-// that annotated fields are only touched with mu held (or from methods
-// documented "s.mu held").
+// Request handling is locked per subsystem, not globally, so independent
+// clients dispatch in parallel (docs/architecture.md, "The locking
+// model"). Every mutable field carries a "guarded by <mutex>" annotation
+// naming its subsystem mutex, and cmd/tkcheck's lock analyzer checks
+// that annotated fields are only touched with that mutex held (or from
+// methods documented "s.<mutex> held"). The subsystem mutexes are
+// obs.TimedMutex/TimedRWMutex, so every acquisition wait lands in a
+// "lockwait.<subsystem>" histogram.
+//
+// Lock order (always acquire left before right, release before taking a
+// peer): treeMu → pixmap.mu → {gcs, pixmaps, cursors shard locks,
+// fontsMu, colorsMu, atomsMu}. The right-hand group are leaves — no
+// server mutex is ever acquired while one of them is held — except that
+// two pixmap locks may nest in ascending-ID order (CopyArea between
+// pixmaps). connsMu is independent: never held together with any other
+// server mutex.
 type Server struct {
-	mu sync.Mutex
+	width, height int     // immutable after New
+	root          *window // the pointer is immutable; its contents are guarded by treeMu
 
-	width, height int                     // immutable after New
-	root          *window                 // the pointer is immutable; its contents are guarded by mu
-	windows       map[xproto.ID]*window   // guarded by mu
-	pixmaps       map[xproto.ID]*image    // guarded by mu
-	gcs           map[xproto.ID]*gcontext // guarded by mu
-	fonts         map[xproto.ID]*font     // guarded by mu
-	cursors       map[xproto.ID]string    // guarded by mu
+	// treeMu is the window subsystem: the window tree and every
+	// window's fields and pixels, input state (focus, pointer, grabs)
+	// and selection ownership — the state whose invariants span
+	// multiple windows and so cannot be sharded.
+	treeMu     obs.TimedMutex
+	windows    map[xproto.ID]*window      // guarded by treeMu
+	selections map[xproto.Atom]*selection // guarded by treeMu
+	focus      xproto.ID                  // guarded by treeMu
+	pointerX   int                        // guarded by treeMu
+	pointerY   int                        // guarded by treeMu
+	buttons    uint16                     // guarded by treeMu
+	modifiers  uint16                     // guarded by treeMu
+	pointerWin *window                    // guarded by treeMu
+	grabWin    *window                    // guarded by treeMu
 
-	atoms     map[string]xproto.Atom // guarded by mu
-	atomNames map[xproto.Atom]string // guarded by mu
-	nextAtom  xproto.Atom            // guarded by mu
+	// Atoms are intern-once, read-forever (exactly the workload Tk's
+	// resource names generate): reads take the read lock, a miss
+	// upgrades to the write lock and re-checks.
+	atomsMu   obs.TimedRWMutex
+	atoms     map[string]xproto.Atom // guarded by atomsMu
+	atomNames map[xproto.Atom]string // guarded by atomsMu
+	nextAtom  xproto.Atom            // guarded by atomsMu
 
-	selections map[xproto.Atom]*selection // guarded by mu
+	// Fonts: the map is read-mostly; font objects themselves are
+	// immutable once opened, so they may be used after release.
+	fontsMu obs.TimedRWMutex
+	fonts   map[xproto.ID]*font // guarded by fontsMu
 
-	focus xproto.ID // guarded by mu
+	// Colors: interned cells for resolved color specs (the stand-in for
+	// colormap cell allocation). Bounded by the distinct colors clients
+	// actually use.
+	colorsMu   obs.TimedRWMutex
+	colorCells map[string]uint32 // guarded by colorsMu
 
-	pointerX   int     // guarded by mu
-	pointerY   int     // guarded by mu
-	buttons    uint16  // guarded by mu
-	modifiers  uint16  // guarded by mu
-	pointerWin *window // guarded by mu
-	grabWin    *window // guarded by mu
+	// Per-client resources live in sharded tables: clients touching
+	// disjoint IDs take disjoint shard locks. Table pointers are
+	// immutable after New.
+	gcs     *resTable[*gcontext]
+	pixmaps *resTable[*pixmap]
+	cursors *resTable[string]
 
-	nextIDBase   uint32       // guarded by mu
-	latency      atomic.Int64 // nanoseconds per request (or per segment)
-	latModel     atomic.Int32 // LatencyModel selecting how latency is charged
-	writeTimeout atomic.Int64 // nanoseconds a stalled peer may block a write
-	start        time.Time    // immutable after New
+	nextIDBase   atomic.Uint32 // next connection's resource-ID range base
+	latency      atomic.Int64  // nanoseconds per request (or per segment)
+	latModel     atomic.Int32  // LatencyModel selecting how latency is charged
+	writeTimeout atomic.Int64  // nanoseconds a stalled peer may block a write
+	start        time.Time     // immutable after New
 
-	conns    map[*conn]bool // guarded by mu
-	listener net.Listener   // guarded by mu
-	closed   bool           // guarded by mu
+	// Connection registry, independent of the dispatch locks above.
+	connsMu  obs.TimedMutex
+	conns    map[*conn]bool // guarded by connsMu
+	listener net.Listener   // guarded by connsMu
+	closed   bool           // guarded by connsMu
 
 	// metrics aggregates across all connections: "requests",
-	// per-opcode "requests.<OpName>" counters, and the "dispatch"
-	// service-time histogram. The pointer is immutable after New; the
-	// registry itself is safe for concurrent use.
+	// per-opcode "requests.<OpName>" counters, the "dispatch"
+	// service-time histogram, and the per-subsystem "lockwait.*"
+	// histograms. The pointer is immutable after New; the registry
+	// itself is safe for concurrent use.
 	metrics *obs.Registry
 }
 
-// gcontext is a server-side graphics context.
+// gcontext is a server-side graphics context. Fields are mutated only
+// under the gcs shard lock holding it (applyGC runs inside
+// resTable.with); dispatch paths that draw take a value snapshot under
+// that lock and work from the copy.
 type gcontext struct {
 	foreground uint32
 	background uint32
 	lineWidth  int
 	font       xproto.ID
 	owner      *conn
+}
+
+// pixmap is a server-side off-screen drawable. The img pointer and the
+// image's dimensions are immutable after CreatePixmap; the pixel
+// contents are guarded by mu, so clients drawing into distinct pixmaps
+// never contend (and never touch treeMu at all).
+type pixmap struct {
+	mu  obs.TimedMutex
+	img *image // the pointer is immutable; pixel contents are guarded by mu
+}
+
+// with runs fn on the pixmap's pixels under its lock.
+func (p *pixmap) with(fn func(im *image)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fn(p.img)
 }
 
 // property is a window property value.
@@ -91,7 +144,9 @@ type selection struct {
 	time  uint32
 }
 
-// window is a server-side window.
+// window is a server-side window. All fields are guarded by the
+// server's treeMu (windows are reached only through Server.windows or
+// the tree itself).
 type window struct {
 	id          xproto.ID
 	parent      *window
@@ -114,7 +169,7 @@ type window struct {
 type conn struct {
 	s    *Server
 	rw   net.Conn
-	out  chan []byte
+	out  chan *[]byte
 	done chan struct{}
 	seq  uint64
 	once sync.Once
@@ -132,19 +187,25 @@ func New(width, height int) *Server {
 		width:      width,
 		height:     height,
 		windows:    make(map[xproto.ID]*window),
-		pixmaps:    make(map[xproto.ID]*image),
-		gcs:        make(map[xproto.ID]*gcontext),
 		fonts:      make(map[xproto.ID]*font),
-		cursors:    make(map[xproto.ID]string),
 		atoms:      make(map[string]xproto.Atom),
 		atomNames:  make(map[xproto.Atom]string),
+		colorCells: make(map[string]uint32),
 		selections: make(map[xproto.Atom]*selection),
 		conns:      make(map[*conn]bool),
 		metrics:    obs.NewRegistry(),
 		start:      time.Now(),
-		nextIDBase: 0x00200000,
 		nextAtom:   100,
 	}
+	s.nextIDBase.Store(0x00200000)
+	s.treeMu.Instrument(s.metrics.Histogram("lockwait.tree"))
+	s.atomsMu.Instrument(s.metrics.Histogram("lockwait.atoms"))
+	s.fontsMu.Instrument(s.metrics.Histogram("lockwait.fonts"))
+	s.colorsMu.Instrument(s.metrics.Histogram("lockwait.colors"))
+	s.connsMu.Instrument(s.metrics.Histogram("lockwait.conns"))
+	s.gcs = newResTable[*gcontext](s.metrics.Histogram("lockwait.gcs"))
+	s.pixmaps = newResTable[*pixmap](s.metrics.Histogram("lockwait.pixmaps"))
+	s.cursors = newResTable[string](s.metrics.Histogram("lockwait.cursors"))
 	s.writeTimeout.Store(int64(DefaultWriteTimeout))
 	for a, name := range xproto.PredefinedAtoms {
 		s.atoms[name] = a
@@ -213,8 +274,9 @@ func (s *Server) Stats() (requests uint64) {
 }
 
 // Metrics returns the server-wide registry: "requests" and per-opcode
-// "requests.<OpName>" counters, and the "dispatch" histogram of
-// request service times (decode + handle, excluding simulated latency).
+// "requests.<OpName>" counters, the "dispatch" histogram of request
+// service times (decode + handle, excluding simulated latency), and the
+// "lockwait.<subsystem>" histograms of mutex acquisition waits.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // now returns the server timestamp in milliseconds.
@@ -224,9 +286,9 @@ func (s *Server) now() uint32 {
 
 // Serve accepts connections on l until the listener is closed.
 func (s *Server) Serve(l net.Listener) {
-	s.mu.Lock()
+	s.connsMu.Lock()
 	s.listener = l
-	s.mu.Unlock()
+	s.connsMu.Unlock()
 	for {
 		nc, err := l.Accept()
 		if err != nil {
@@ -256,14 +318,14 @@ func (s *Server) ConnectPipe() net.Conn {
 
 // Close shuts the server down, closing all connections.
 func (s *Server) Close() {
-	s.mu.Lock()
+	s.connsMu.Lock()
 	s.closed = true
 	l := s.listener
 	conns := make([]*conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
-	s.mu.Unlock()
+	s.connsMu.Unlock()
 	if l != nil {
 		l.Close()
 	}
@@ -272,42 +334,53 @@ func (s *Server) Close() {
 	}
 }
 
+// framePool recycles outbound frame buffers: enqueueFrame fills one,
+// the writer goroutine (or a drop path) returns it. Pooled as *[]byte
+// so channel sends and puts move one pointer, not a slice header.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
 // ServeConn runs the protocol on one established connection, blocking
 // until it closes.
 func (s *Server) ServeConn(nc net.Conn) {
 	c := &conn{
 		s:       s,
 		rw:      nc,
-		out:     make(chan []byte, 4096),
+		out:     make(chan *[]byte, 4096),
 		done:    make(chan struct{}),
 		metrics: obs.NewRegistry(),
 	}
-	s.mu.Lock()
+	s.connsMu.Lock()
 	if s.closed {
-		s.mu.Unlock()
+		s.connsMu.Unlock()
 		nc.Close()
 		return
 	}
 	s.conns[c] = true
-	base := s.nextIDBase
-	s.nextIDBase += 0x00200000
-	s.mu.Unlock()
+	s.connsMu.Unlock()
+	base := s.nextIDBase.Add(0x00200000) - 0x00200000
 
 	// Writer goroutine: coalesces every frame queued at wake-up time
 	// into a single Write, so a burst of replies/events crosses the
 	// wire as one segment (the mirror of the client's batched flush).
 	// Each Write carries a deadline so a peer that stops reading cannot
 	// wedge the goroutine forever: on timeout the connection is counted
-	// as stalled and severed.
+	// as stalled and severed. Frame buffers return to the pool here,
+	// after the batch copy.
 	go func() {
 		var batch []byte
 		for {
 			select {
-			case buf, ok := <-c.out:
+			case bp, ok := <-c.out:
 				if !ok {
 					return
 				}
-				batch = append(batch[:0], buf...)
+				batch = append(batch[:0], *bp...)
+				framePool.Put(bp)
 			coalesce:
 				for {
 					select {
@@ -315,7 +388,8 @@ func (s *Server) ServeConn(nc net.Conn) {
 						if !ok {
 							break coalesce
 						}
-						batch = append(batch, more...)
+						batch = append(batch, *more...)
+						framePool.Put(more)
 					default:
 						break coalesce
 					}
@@ -343,21 +417,26 @@ func (s *Server) ServeConn(nc net.Conn) {
 		Width:          uint16(s.width),
 		Height:         uint16(s.height),
 	}
-	w := xproto.NewWriter()
+	w := xproto.AcquireWriter()
 	setup.Encode(w)
 	c.enqueueFrame(xproto.KindReply, w.Bytes(), true)
+	xproto.ReleaseWriter(w)
 
 	// Request loop. Requests are read through a buffered reader over a
 	// latency-charging wrapper: under LatencyPerSegment each underlying
 	// conn read (one wire segment, typically one client flush) pays the
 	// simulated latency once, however many requests it carries; under
 	// LatencyPerRequest the historical per-request sleep below applies.
+	// The payload scratch buffer is reused across requests (safe: every
+	// request Decode copies what it retains — see ReadRequestFrameInto).
 	br := bufio.NewReaderSize(&segmentReader{s: s, conn: nc}, 64<<10)
+	var rbuf []byte
 	for {
-		op, payload, err := xproto.ReadRequestFrame(br)
+		op, payload, err := xproto.ReadRequestFrameInto(br, rbuf)
 		if err != nil {
 			break
 		}
+		rbuf = payload
 		if s.latModel.Load() == int32(LatencyPerRequest) {
 			if lat := s.latency.Load(); lat > 0 {
 				time.Sleep(time.Duration(lat))
@@ -380,10 +459,10 @@ func (s *Server) ServeConn(nc net.Conn) {
 		c.metrics.Histogram("dispatch").Observe(elapsed)
 	}
 	c.close()
-	s.mu.Lock()
+	s.connsMu.Lock()
 	delete(s.conns, c)
+	s.connsMu.Unlock()
 	s.cleanupConn(c)
-	s.mu.Unlock()
 }
 
 func (c *conn) close() {
@@ -404,7 +483,9 @@ func (c *conn) markStalled() {
 // segmentReader counts wire segments and charges the per-segment
 // simulated latency: each successful read from the underlying
 // connection is one segment (one client flush, up to the buffer size),
-// so K pipelined requests in one flush pay the latency once.
+// so K pipelined requests in one flush pay the latency once. The sleep
+// happens on the connection's own read goroutine with no server lock
+// held, so concurrent clients overlap their latency.
 type segmentReader struct {
 	s    *Server
 	conn net.Conn
@@ -423,79 +504,96 @@ func (sr *segmentReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// enqueueFrame frames and queues a server-to-client message. Replies and
+// enqueueFrame frames and queues a server-to-client message into a
+// pooled buffer (ownership passes to the writer goroutine on send, and
+// returns to the pool here on every non-delivery path). Replies and
 // errors must not be dropped; events may be dropped under extreme
 // backpressure rather than deadlocking the server. Even mustDeliver
 // waits are bounded: if the outbound queue stays full past the write
 // timeout the peer has stopped draining it, and the connection is
 // counted as stalled and severed rather than wedging the dispatcher.
 func (c *conn) enqueueFrame(kind byte, payload []byte, mustDeliver bool) {
-	buf := make([]byte, 0, 5+len(payload))
-	buf = append(buf, kind)
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], kind)
 	buf = append(buf, byte(len(payload)>>24), byte(len(payload)>>16), byte(len(payload)>>8), byte(len(payload)))
 	buf = append(buf, payload...)
+	*bp = buf
 	if mustDeliver {
 		// Fast path: queue space available or connection already gone.
 		select {
-		case c.out <- buf:
+		case c.out <- bp:
 			return
 		case <-c.done:
+			framePool.Put(bp)
 			return
 		default:
 		}
 		to := c.s.writeTimeout.Load()
 		if to <= 0 {
 			select {
-			case c.out <- buf:
+			case c.out <- bp:
 			case <-c.done:
+				framePool.Put(bp)
 			}
 			return
 		}
 		timer := time.NewTimer(time.Duration(to))
 		defer timer.Stop()
 		select {
-		case c.out <- buf:
+		case c.out <- bp:
 		case <-c.done:
+			framePool.Put(bp)
 		case <-timer.C:
+			framePool.Put(bp)
 			c.markStalled()
 			c.close()
 		}
 		return
 	}
 	select {
-	case c.out <- buf:
+	case c.out <- bp:
 	case <-c.done:
+		framePool.Put(bp)
 	default:
+		framePool.Put(bp)
 		c.metrics.Counter("dropped").Inc()
 	}
 }
 
-// reply sends a reply for the current request.
+// reply sends a reply for the current request. The Writer is pooled:
+// enqueueFrame copies the encoded bytes into the outbound frame before
+// the writer is released, so the hot reply path allocates nothing.
 func (c *conn) reply(encode func(w *xproto.Writer)) {
 	c.metrics.Counter("roundtrips").Inc()
-	w := xproto.NewWriter()
+	w := xproto.AcquireWriter()
 	w.PutU64(c.seq)
 	encode(w)
 	c.enqueueFrame(xproto.KindReply, w.Bytes(), true)
+	xproto.ReleaseWriter(w)
 }
 
 // protoError sends an error message for the current request.
 func (c *conn) protoError(format string, args ...any) {
-	w := xproto.NewWriter()
+	w := xproto.AcquireWriter()
 	w.PutU64(c.seq)
 	w.PutString(fmt.Sprintf(format, args...))
 	c.enqueueFrame(xproto.KindError, w.Bytes(), true)
+	xproto.ReleaseWriter(w)
 }
 
 // sendEvent delivers an event to this connection.
 func (c *conn) sendEvent(ev *xproto.Event) {
 	c.metrics.Counter("events").Inc()
-	w := xproto.NewWriter()
+	w := xproto.AcquireWriter()
 	ev.Encode(w)
 	c.enqueueFrame(xproto.KindEvent, w.Bytes(), false)
+	xproto.ReleaseWriter(w)
 }
 
-// dispatch decodes and executes one request under the server lock.
+// dispatch decodes and executes one request. Locking is per subsystem,
+// inside handle and the handlers it calls — there is no server-wide
+// lock, so requests from different clients that touch different
+// subsystems (or different shards of one) run in parallel.
 func (s *Server) dispatch(c *conn, op uint16, payload []byte) {
 	req := xproto.NewRequest(op)
 	if req == nil {
@@ -508,34 +606,34 @@ func (s *Server) dispatch(c *conn, op uint16, payload []byte) {
 		c.protoError("malformed request %d: %v", op, r.Err())
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.handle(c, req)
 }
 
 // cleanupConn releases all resources owned by a departed client: its
-// windows are destroyed (as X does), its GCs, fonts and pixmaps freed,
-// its event-mask entries removed, and its selections cleared. Called with s.mu held.
+// windows are destroyed (as X does), its GCs freed, its event-mask
+// entries removed, and its selections cleared.
 func (s *Server) cleanupConn(c *conn) {
-	// Destroy windows owned by the connection, top-level first.
-	var owned []*window
+	s.treeMu.Lock()
+	// Collect first, destroy second: destroyWindow mutates s.windows
+	// (and detaches whole subtrees), so destroying while ranging over
+	// the map would visit it mid-mutation. Top-level windows go first
+	// (X semantics: the visible tree comes down before orphans deeper
+	// in other clients' trees); the liveness re-check skips windows an
+	// earlier destroy already took down with their ancestor.
+	var topLevel, nested []*window
 	for _, w := range s.windows {
-		if w.owner == c && w.parent == s.root {
-			owned = append(owned, w)
+		if w.owner != c || w == s.root {
+			continue
+		}
+		if w.parent == s.root {
+			topLevel = append(topLevel, w)
+		} else {
+			nested = append(nested, w)
 		}
 	}
-	for _, w := range owned {
-		s.destroyWindow(w)
-	}
-	// Any remaining windows deeper in other clients' trees.
-	for _, w := range s.windows {
-		if w.owner == c && w != s.root {
+	for _, w := range append(topLevel, nested...) {
+		if s.windows[w.id] == w {
 			s.destroyWindow(w)
-		}
-	}
-	for id, gc := range s.gcs {
-		if gc.owner == c {
-			delete(s.gcs, id)
 		}
 	}
 	for _, w := range s.windows {
@@ -546,4 +644,6 @@ func (s *Server) cleanupConn(c *conn) {
 			delete(s.selections, sel)
 		}
 	}
+	s.treeMu.Unlock()
+	s.gcs.sweep(func(gc *gcontext) bool { return gc.owner == c })
 }

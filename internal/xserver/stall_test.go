@@ -29,9 +29,9 @@ func TestStalledPeerSevered(t *testing.T) {
 	}
 
 	// The server stays fully usable for well-behaved clients.
-	s.mu.Lock()
+	s.connsMu.Lock()
 	live := len(s.conns)
-	s.mu.Unlock()
+	s.connsMu.Unlock()
 	_ = live // the stalled conn unregisters once its read loop exits
 	buf := make([]byte, 16)
 	if _, err := nc.Read(buf); err == nil {

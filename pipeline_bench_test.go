@@ -36,6 +36,9 @@ func BenchmarkPipelinedRoundTrips(b *testing.B) {
 				app.Server.SetLatencyModel(xserver.LatencyPerRequest)
 			}()
 			cookies := make([]*xclient.Cookie, k)
+			// The reply path is pooled end to end; allocs/op here is the
+			// regression canary for it (see BENCH_mtserver.json).
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for j := 0; j < k; j++ {
