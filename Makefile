@@ -20,7 +20,7 @@ test:
 	$(GO) test -race ./...
 
 tkcheck:
-	$(GO) run ./cmd/tkcheck ./examples/... ./cmd/... ./internal/...
+	$(GO) run ./cmd/tkcheck ./examples/... ./cmd/... ./internal/... ./docs
 	$(GO) run ./cmd/tkcheck -tests ./cmd/wish
 
 bench:

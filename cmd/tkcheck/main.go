@@ -3,15 +3,21 @@
 // script literals Go sources pass to Eval/MustEval — against the live
 // command registry without evaluating them, recursing into deferred
 // scripts (bind bodies, -command options, after and send arguments),
-// and runs two Go analyzers: lock discipline for "guarded by mu"
-// fields, and xproto opcode completeness.
+// and runs five Go analyzers: lock discipline for "guarded by mu"
+// fields, the whole-program lock-order graph, pooled-value lifetime,
+// the metrics-name registry (Go names vs the docs/observability.md
+// registry block), and xproto opcode completeness.
 //
 // Usage:
 //
-//	tkcheck [-tests] [-known name,...] target ...
+//	tkcheck [-tests] [-known name,...] [-json] [-time] [-j N] target ...
 //
-// Targets are .tcl files, .go files, directories, or dir/... patterns.
-// Exits 1 when any diagnostic is reported.
+// Targets are .tcl, .go, or .md files, directories, or dir/...
+// patterns. Analysis fans out across CPUs (cap it with -j); output
+// order is deterministic regardless. -json emits one machine-readable
+// report on stdout instead of the human lines; -time prints
+// per-analyzer wall time to stderr. Exits 1 when any diagnostic is
+// reported, 2 on usage or read/parse errors.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
@@ -33,15 +40,19 @@ func run(args []string, out, errOut io.Writer) int {
 	fs.SetOutput(errOut)
 	tests := fs.Bool("tests", false, "also lint script literals in _test.go files")
 	known := fs.String("known", "", "comma-separated extra command names to treat as known")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON report on stdout")
+	timings := fs.Bool("time", false, "print per-analyzer timing to stderr")
+	jobs := fs.Int("j", 0, "max parallel analysis workers (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(errOut, "usage: tkcheck [-tests] [-known name,...] target ...")
+		fmt.Fprintln(errOut, "usage: tkcheck [-tests] [-known name,...] [-json] [-time] [-j N] target ...")
 		return 2
 	}
 	r := lint.NewRunner()
 	r.IncludeTests = *tests
+	r.Jobs = *jobs
 	for _, name := range strings.Split(*known, ",") {
 		if name = strings.TrimSpace(name); name != "" {
 			r.Reg.AddKnown(name)
@@ -54,6 +65,27 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 	}
 	diags := r.Finish()
+	if *timings {
+		for _, t := range r.Timings() {
+			fmt.Fprintf(errOut, "tkcheck: %-10s %s\n", t.Name, t.Duration.Round(time.Microsecond))
+		}
+	}
+	if errs := r.Errs(); len(errs) > 0 {
+		for _, err := range errs {
+			fmt.Fprintln(errOut, err)
+		}
+		return 2
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(out, diags); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 2
+		}
+		if len(diags) > 0 {
+			return 1
+		}
+		return 0
+	}
 	for _, d := range diags {
 		fmt.Fprintln(out, d)
 	}

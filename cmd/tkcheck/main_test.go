@@ -54,6 +54,99 @@ func TestExitZeroOnRepoScripts(t *testing.T) {
 	}
 }
 
+// TestGoldenHumanOutput pins the full human-mode stdout for a fixture
+// with diagnostics from both sides of the metrics registry: exact
+// lines, exact order, and the trailing problem count.
+func TestGoldenHumanOutput(t *testing.T) {
+	code, out, errOut := runCheck(t, "-time", fixtures+"/metricsreg")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, out)
+	}
+	want := fixtures + `/metricsreg/metrics.go:32:12: metric "undocumented.count" is not documented in the metrics registry (add it to the metrics-registry block in docs/observability.md) [metrics]
+` + fixtures + `/metricsreg/metrics.go:36:12: metric name is dynamic (not a string literal, package const, wrapper parameter, or "prefix."+expr) and cannot be checked against the registry [metrics]
+` + fixtures + `/metricsreg/registry.md:12:1: documented metric "ghost.metric" is not constructed anywhere in the scanned Go code (stale registry entry?) [metrics]
+tkcheck: 3 problem(s)
+`
+	if out != want {
+		t.Errorf("stdout mismatch:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+	// -time reports to stderr only, so golden stdout stays stable; the
+	// analyzers that ran over this fixture must each show up.
+	for _, name := range []string{"parse", "metrics", "lockorder", "pool"} {
+		if !strings.Contains(errOut, "tkcheck: "+name) {
+			t.Errorf("stderr timing output missing %q:\n%s", name, errOut)
+		}
+	}
+}
+
+// TestGoldenJSONOutput pins the -json report byte for byte, for the
+// same fixture and for a clean run (empty diagnostics array, not
+// null).
+func TestGoldenJSONOutput(t *testing.T) {
+	code, out, _ := runCheck(t, "-json", fixtures+"/metricsreg")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, out)
+	}
+	want := `{
+  "problems": 3,
+  "diagnostics": [
+    {
+      "file": "` + fixtures + `/metricsreg/metrics.go",
+      "line": 32,
+      "col": 12,
+      "analyzer": "metrics",
+      "severity": "error",
+      "message": "metric \"undocumented.count\" is not documented in the metrics registry (add it to the metrics-registry block in docs/observability.md)"
+    },
+    {
+      "file": "` + fixtures + `/metricsreg/metrics.go",
+      "line": 36,
+      "col": 12,
+      "analyzer": "metrics",
+      "severity": "error",
+      "message": "metric name is dynamic (not a string literal, package const, wrapper parameter, or \"prefix.\"+expr) and cannot be checked against the registry"
+    },
+    {
+      "file": "` + fixtures + `/metricsreg/registry.md",
+      "line": 12,
+      "col": 1,
+      "analyzer": "metrics",
+      "severity": "error",
+      "message": "documented metric \"ghost.metric\" is not constructed anywhere in the scanned Go code (stale registry entry?)"
+    }
+  ]
+}
+`
+	if out != want {
+		t.Errorf("json mismatch:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+
+	code, out, _ = runCheck(t, "-json", fixtures+"/good.tcl")
+	if code != 0 {
+		t.Fatalf("clean run: exit = %d, want 0\nstdout:\n%s", code, out)
+	}
+	want = "{\n  \"problems\": 0,\n  \"diagnostics\": []\n}\n"
+	if out != want {
+		t.Errorf("clean json mismatch:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+// TestJobsFlagDeterministic runs the same mixed target set with -j 1
+// and -j 8: stdout must be identical.
+func TestJobsFlagDeterministic(t *testing.T) {
+	targets := []string{fixtures + "/lockorder", fixtures + "/pool", fixtures + "/locks", fixtures + "/arity.tcl"}
+	_, serial, _ := runCheck(t, append([]string{"-j", "1"}, targets...)...)
+	if !strings.Contains(serial, "problem(s)") {
+		t.Fatalf("expected diagnostics, got:\n%s", serial)
+	}
+	for i := 0; i < 5; i++ {
+		_, parallel, _ := runCheck(t, append([]string{"-j", "8"}, targets...)...)
+		if parallel != serial {
+			t.Fatalf("parallel output differs from serial:\n--- j1\n%s\n--- j8\n%s", serial, parallel)
+		}
+	}
+}
+
 func TestKnownFlag(t *testing.T) {
 	code, _, _ := runCheck(t, fixtures+"/unknown.tcl")
 	if code != 1 {

@@ -14,25 +14,41 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 )
 
 // A Diag is one diagnostic, positioned at a 1-based line and column.
+// Rule doubles as the analyzer name in machine-readable output:
+// "parse", "unknown-command", "arity", "expr", "path", "options",
+// "locks", "lockorder", "pool", "metrics", "opcodes", "pkgdoc".
 type Diag struct {
 	File string
 	Line int
 	Col  int
-	Rule string // "parse", "unknown-command", "arity", "expr", "path", "options", "locks", "opcodes"
+	Rule string
 	Msg  string
+	// Severity is "error" or "warning"; the zero value means "error".
+	Severity string
 }
 
 func (d Diag) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Msg, d.Rule)
 }
 
-// SortDiags orders diagnostics by file, then position.
+func (d Diag) severity() string {
+	if d.Severity == "" {
+		return "error"
+	}
+	return d.Severity
+}
+
+// SortDiags orders diagnostics by file, then position, then rule and
+// message, so a run's output is a deterministic function of its inputs
+// regardless of analyzer scheduling.
 func SortDiags(diags []Diag) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -42,8 +58,47 @@ func SortDiags(diags []Diag) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Col < b.Col
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
+}
+
+// jsonDiag is the wire form of one diagnostic in -json output. The
+// field set is the contract documented in docs/static-analysis.md;
+// adding fields is fine, renaming or removing them is not.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Problems    int        `json:"problems"`
+	Diagnostics []jsonDiag `json:"diagnostics"`
+}
+
+// WriteJSON emits diagnostics as a single JSON document: an object with
+// a "problems" count and a "diagnostics" array (never null), each entry
+// carrying file/line/col/analyzer/severity/message.
+func WriteJSON(w io.Writer, diags []Diag) error {
+	rep := jsonReport{Problems: len(diags), Diagnostics: make([]jsonDiag, 0, len(diags))}
+	for _, d := range diags {
+		rep.Diagnostics = append(rep.Diagnostics, jsonDiag{
+			File: d.File, Line: d.Line, Col: d.Col,
+			Analyzer: d.Rule, Severity: d.severity(), Message: d.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // lineCol converts a byte offset into src to a 1-based line and column.

@@ -1,6 +1,9 @@
 package lint
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"testing"
@@ -78,6 +81,7 @@ func TestFixtureScripts(t *testing.T) {
 // type name the analyzer must unwrap from shard[V].
 func TestLocksFixture(t *testing.T) {
 	assertDiags(t, checkFixture(t, filepath.Join("testdata", "locks")), []string{
+		`testdata/locks/deferargs.go:29:32: deferbox.n (guarded by mu) accessed without holding mu [locks]`,
 		`testdata/locks/locks.go:23:11: counter.count (guarded by mu) accessed without holding mu [locks]`,
 		`testdata/locks/multi.go:36:4: registry.state (guarded by stateMu) accessed without holding stateMu [locks]`,
 		`testdata/locks/multi.go:50:11: registry.tab (guarded by tabMu) accessed without holding tabMu [locks]`,
@@ -90,8 +94,8 @@ func TestLocksFixture(t *testing.T) {
 // OpPing/OpEcho are covered everywhere.
 func TestOpcodesFixture(t *testing.T) {
 	assertDiags(t, checkFixture(t, filepath.Join("testdata", "opcodes")), []string{
-		`testdata/opcodes/opcodes.go:9:2: opcode OpOrphan has no case in the NewRequest factory [opcodes]`,
 		`testdata/opcodes/opcodes.go:9:2: opcode OpOrphan has no *OrphanReq dispatch arm in any request type switch [opcodes]`,
+		`testdata/opcodes/opcodes.go:9:2: opcode OpOrphan has no case in the NewRequest factory [opcodes]`,
 		`testdata/opcodes/opcodes.go:9:2: opcode OpOrphan has no entry in the opNames table (OpName would fall back to a number) [opcodes]`,
 	})
 }
@@ -158,6 +162,122 @@ func TestProcSharingAcrossScripts(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertDiags(t, checkFixture(t, path), nil)
+}
+
+// TestLockOrderFixture exercises the whole-program lock-order
+// analyzer: the declared chain on box is enforced edge by edge
+// (direct, through a leaf group, across independent chains, and one
+// call level deep), cycles are reported whether or not the mutexes are
+// declared, and same-class nesting is allowed only through the
+// conditionally swapped pair idiom.
+func TestLockOrderFixture(t *testing.T) {
+	assertDiags(t, checkFixture(t, filepath.Join("testdata", "lockorder")), []string{
+		`testdata/lockorder/lockorder.go:43:2: box.first acquired while box.second is held, contradicting the declared lock order (box.first is ordered before box.second) [lockorder]`,
+		`testdata/lockorder/lockorder.go:43:2: lock-order cycle: box.first -> box.second -> box.first [lockorder]`,
+		`testdata/lockorder/lockorder.go:51:2: box.leafB acquired while box.leafA is held, but both are members of the same lock-order leaf group (group members must not nest) [lockorder]`,
+		`testdata/lockorder/lockorder.go:59:2: box.solo acquired while box.first is held, but the lock-order declaration puts them on independent chains (they must never be held together) [lockorder]`,
+		`testdata/lockorder/lockorder.go:74:2: box.leafA acquired while box.leafB is held (via call to box.lockLeafA), but both are members of the same lock-order leaf group (group members must not nest) [lockorder]`,
+		`testdata/lockorder/lockorder.go:74:2: lock-order cycle: box.leafA -> box.leafB -> box.leafA (via call to box.lockLeafA) [lockorder]`,
+		`testdata/lockorder/lockorder.go:93:2: cell.mu acquired in unorderedPair while another cell.mu is already held (no ordered-pair idiom: lock both through a conditionally swapped lo/hi pair) [lockorder]`,
+	})
+}
+
+// TestLockCycleFromReorderedAcquisitions is the reorder acceptance
+// check: two functions taking the same two mutexes in opposite orders
+// — no declaration anywhere — must produce a cycle diagnostic naming
+// both.
+func TestLockCycleFromReorderedAcquisitions(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+type s struct{ a, b sync.Mutex }
+
+func (x *s) f() { x.a.Lock(); x.b.Lock(); x.b.Unlock(); x.a.Unlock() }
+func (x *s) g() { x.b.Lock(); x.a.Lock(); x.a.Unlock(); x.b.Unlock() }
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "reorder.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := CheckLockOrder(fset, []*ast.File{f})
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want exactly the cycle", diags)
+	}
+	want := "lock-order cycle: s.a -> s.b -> s.a"
+	if diags[0].Msg != want {
+		t.Fatalf("msg = %q, want %q", diags[0].Msg, want)
+	}
+}
+
+// TestPoolFixture exercises the pool-lifetime analyzer: leaks on early
+// return and panic, use-after-release, double release, and the three
+// escape routes are flagged; the linear, deferred (plain and
+// closure-wrapped), channel-handoff and accessor idioms are not.
+func TestPoolFixture(t *testing.T) {
+	assertDiags(t, checkFixture(t, filepath.Join("testdata", "pool")), []string{
+		`testdata/pool/pool.go:72:3: AcquireWriter result "w" (acquired at line 70) is not released on this return path (missing defer?) [pool]`,
+		`testdata/pool/pool.go:81:2: AcquireWriter result "w" (acquired at line 79) is not released on this return path (missing defer?) [pool]`,
+		`testdata/pool/pool.go:88:2: use of pooled value "w" after it was released to the pool [pool]`,
+		`testdata/pool/pool.go:95:2: pooled value "w" released twice [pool]`,
+		`testdata/pool/pool.go:101:2: pooled Writer "w" escapes through a channel send (pair it with ReleaseWriter in this function instead) [pool]`,
+		`testdata/pool/pool.go:107:9: pooled value "w" escapes via return (the pool can reclaim it while the caller still uses it) [pool]`,
+		`testdata/pool/pool.go:113:2: pooled value "w" escapes via store into a struct or container (the pool can reclaim it out from under the holder) [pool]`,
+	})
+}
+
+// TestMetricsRegistryFixture exercises the metrics-name registry: the
+// documented literal, const, wrapper and "prefix."+expr names all
+// match, the undocumented counter and the stale registry entry are
+// flagged from their respective sides, and a truly dynamic name is
+// reported as uncheckable.
+func TestMetricsRegistryFixture(t *testing.T) {
+	assertDiags(t, checkFixture(t, filepath.Join("testdata", "metricsreg")), []string{
+		`testdata/metricsreg/metrics.go:32:12: metric "undocumented.count" is not documented in the metrics registry (add it to the metrics-registry block in docs/observability.md) [metrics]`,
+		`testdata/metricsreg/metrics.go:36:12: metric name is dynamic (not a string literal, package const, wrapper parameter, or "prefix."+expr) and cannot be checked against the registry [metrics]`,
+		`testdata/metricsreg/registry.md:12:1: documented metric "ghost.metric" is not constructed anywhere in the scanned Go code (stale registry entry?) [metrics]`,
+	})
+}
+
+// TestDeterministicParallelOrder runs the same multi-target check
+// serially and with a saturated worker pool: the diagnostics must come
+// back identical, byte for byte, regardless of scheduling.
+func TestDeterministicParallelOrder(t *testing.T) {
+	targets := []string{
+		filepath.Join("testdata", "locks"),
+		filepath.Join("testdata", "lockorder"),
+		filepath.Join("testdata", "pool"),
+		filepath.Join("testdata", "metricsreg"),
+		filepath.Join("testdata", "opcodes"),
+		filepath.Join("testdata", "arity.tcl"),
+		filepath.Join("testdata", "unknown.tcl"),
+	}
+	run := func(jobs int) []string {
+		r := NewRunner()
+		r.Jobs = jobs
+		for _, tgt := range targets {
+			if err := r.Check(tgt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []string
+		for _, d := range r.Finish() {
+			got = append(got, d.String())
+		}
+		if errs := r.Errs(); len(errs) > 0 {
+			t.Fatalf("unexpected errors: %v", errs)
+		}
+		return got
+	}
+	serial := run(1)
+	if len(serial) == 0 {
+		t.Fatal("fixtures produced no diagnostics; the comparison is vacuous")
+	}
+	for i := 0; i < 10; i++ {
+		parallel := run(8)
+		assertDiags(t, parallel, serial)
+	}
 }
 
 // TestPkgdocFixture exercises the package-doc analyzer: the undocumented

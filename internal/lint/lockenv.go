@@ -1,0 +1,776 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Syntactic type environment for the lock-order analyzer. Everything
+// here is derived from declarations in the package's files alone (no
+// go/types): struct field types, function and method result types with
+// single-level generic substitution, and per-function local bindings
+// built from receivers, parameters, and assignments. Resolution is
+// best-effort: an expression that cannot be resolved yields the zero
+// rtype and the analyzer skips it.
+
+// rtype is a resolved type: a named struct/type in the package (with
+// generic bindings when it was instantiated) or a container whose
+// element type is known.
+type rtype struct {
+	name  string           // named type, "" when unknown
+	targs map[string]rtype // type-param name -> binding, for generics
+	elem  *rtype           // element type for arrays/slices/maps/chans
+}
+
+// pkgEnv indexes one package's declarations.
+type pkgEnv struct {
+	mutexes        map[string]bool                // "Struct.field" and package-level "var"
+	fields         map[string]map[string]ast.Expr // struct -> field -> declared type
+	typeParams     map[string][]string            // generic type -> param names
+	funcResults    map[string][]ast.Expr          // package func -> flattened results
+	methodResults  map[string][]ast.Expr          // "Type.method" -> flattened results
+	methodTypePars map[string][]string            // "Type.method" -> receiver type-param names
+	funcs          map[string]bool
+	methods        map[string]bool
+}
+
+func newPkgEnv(files []*ast.File) *pkgEnv {
+	env := &pkgEnv{
+		mutexes:        make(map[string]bool),
+		fields:         make(map[string]map[string]ast.Expr),
+		typeParams:     make(map[string][]string),
+		funcResults:    make(map[string][]ast.Expr),
+		methodResults:  make(map[string][]ast.Expr),
+		methodTypePars: make(map[string][]string),
+		funcs:          make(map[string]bool),
+		methods:        make(map[string]bool),
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.TypeParams != nil {
+							var params []string
+							for _, fl := range sp.TypeParams.List {
+								for _, n := range fl.Names {
+									params = append(params, n.Name)
+								}
+							}
+							env.typeParams[sp.Name.Name] = params
+						}
+						st, ok := sp.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						fm := make(map[string]ast.Expr)
+						for _, field := range st.Fields.List {
+							for _, n := range field.Names {
+								fm[n.Name] = field.Type
+								if isMutexType(field.Type) {
+									env.mutexes[sp.Name.Name+"."+n.Name] = true
+								}
+							}
+						}
+						env.fields[sp.Name.Name] = fm
+					case *ast.ValueSpec:
+						if d.Tok != token.VAR || sp.Type == nil || !isMutexType(sp.Type) {
+							continue
+						}
+						for _, n := range sp.Names {
+							env.mutexes[n.Name] = true
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				results := flattenFields(d.Type.Results)
+				if d.Recv == nil || len(d.Recv.List) == 0 {
+					env.funcs[d.Name.Name] = true
+					env.funcResults[d.Name.Name] = results
+					continue
+				}
+				recvType := receiverTypeName(d.Recv.List[0].Type)
+				if recvType == "" {
+					continue
+				}
+				key := recvType + "." + d.Name.Name
+				env.methods[key] = true
+				env.methodResults[key] = results
+				env.methodTypePars[key] = receiverTypeParams(d.Recv.List[0].Type)
+			}
+		}
+	}
+	return env
+}
+
+// isMutexType reports whether a declared type is a mutex: its base
+// type name ends in "Mutex" (sync.Mutex, sync.RWMutex, obs.TimedMutex,
+// obs.TimedRWMutex, or local equivalents), possibly behind a pointer.
+func isMutexType(e ast.Expr) bool {
+	name := baseTypeName(e)
+	return name != "" && len(name) >= 5 && name[len(name)-5:] == "Mutex"
+}
+
+// baseTypeName unwraps pointers, parens, qualification, and generic
+// instantiation down to the underlying type name.
+func baseTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			return t.Sel.Name
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// receiverTypeParams returns the receiver's type-parameter names, in
+// order: for (sh *resShard[V]) it returns ["V"].
+func receiverTypeParams(e ast.Expr) []string {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	var idx []ast.Expr
+	switch t := e.(type) {
+	case *ast.IndexExpr:
+		idx = []ast.Expr{t.Index}
+	case *ast.IndexListExpr:
+		idx = t.Indices
+	default:
+		return nil
+	}
+	var names []string
+	for _, ix := range idx {
+		if id, ok := ix.(*ast.Ident); ok {
+			names = append(names, id.Name)
+		} else {
+			names = append(names, "")
+		}
+	}
+	return names
+}
+
+// flattenFields expands a result list to one entry per value.
+func flattenFields(fl *ast.FieldList) []ast.Expr {
+	if fl == nil {
+		return nil
+	}
+	var out []ast.Expr
+	for _, f := range fl.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, f.Type)
+		}
+	}
+	return out
+}
+
+// resolveTypeExpr resolves a declared type expression against generic
+// bindings.
+func (env *pkgEnv) resolveTypeExpr(e ast.Expr, bind map[string]rtype) rtype {
+	switch t := e.(type) {
+	case *ast.ParenExpr:
+		return env.resolveTypeExpr(t.X, bind)
+	case *ast.StarExpr:
+		return env.resolveTypeExpr(t.X, bind)
+	case *ast.Ident:
+		if b, ok := bind[t.Name]; ok {
+			return b
+		}
+		return rtype{name: t.Name}
+	case *ast.SelectorExpr:
+		return rtype{name: t.Sel.Name}
+	case *ast.IndexExpr:
+		return env.resolveInstantiation(t.X, []ast.Expr{t.Index}, bind)
+	case *ast.IndexListExpr:
+		return env.resolveInstantiation(t.X, t.Indices, bind)
+	case *ast.ArrayType:
+		el := env.resolveTypeExpr(t.Elt, bind)
+		return rtype{elem: &el}
+	case *ast.MapType:
+		el := env.resolveTypeExpr(t.Value, bind)
+		return rtype{elem: &el}
+	case *ast.ChanType:
+		el := env.resolveTypeExpr(t.Value, bind)
+		return rtype{elem: &el}
+	}
+	return rtype{}
+}
+
+func (env *pkgEnv) resolveInstantiation(base ast.Expr, args []ast.Expr, bind map[string]rtype) rtype {
+	name := baseTypeName(base)
+	if name == "" {
+		return rtype{}
+	}
+	params := env.typeParams[name]
+	targs := make(map[string]rtype)
+	for i, a := range args {
+		if i < len(params) {
+			targs[params[i]] = env.resolveTypeExpr(a, bind)
+		}
+	}
+	return rtype{name: name, targs: targs}
+}
+
+// callResults resolves the result types of a call expression: the
+// callee's flattened result list plus the generic bindings to resolve
+// them with. ok is false when the callee is not a same-package
+// function or method (or the receiver type is unknown).
+func (env *pkgEnv) callResults(call *ast.CallExpr, vars map[string]rtype) (results []ast.Expr, bind map[string]rtype, callee string, ok bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if env.funcs[fun.Name] {
+			return env.funcResults[fun.Name], nil, fun.Name, true
+		}
+	case *ast.SelectorExpr:
+		rx := env.resolveValueExpr(fun.X, vars)
+		if rx.name == "" {
+			return nil, nil, "", false
+		}
+		key := rx.name + "." + fun.Sel.Name
+		if !env.methods[key] {
+			return nil, nil, "", false
+		}
+		// Map the method's receiver type-param names positionally onto
+		// the instantiation the receiver value carries.
+		bind = make(map[string]rtype)
+		typePars := env.typeParams[rx.name]
+		for i, mp := range env.methodTypePars[key] {
+			if mp == "" || i >= len(typePars) {
+				continue
+			}
+			if b, okb := rx.targs[typePars[i]]; okb {
+				bind[mp] = b
+			}
+		}
+		return env.methodResults[key], bind, key, true
+	}
+	return nil, nil, "", false
+}
+
+// resolveValueExpr resolves the type of a value expression using the
+// function-local bindings in vars.
+func (env *pkgEnv) resolveValueExpr(e ast.Expr, vars map[string]rtype) rtype {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return env.resolveValueExpr(v.X, vars)
+	case *ast.Ident:
+		return vars[v.Name]
+	case *ast.SelectorExpr:
+		rx := env.resolveValueExpr(v.X, vars)
+		if rx.name == "" {
+			return rtype{}
+		}
+		ft := env.fields[rx.name][v.Sel.Name]
+		if ft == nil {
+			return rtype{}
+		}
+		return env.resolveTypeExpr(ft, rx.targs)
+	case *ast.IndexExpr:
+		rx := env.resolveValueExpr(v.X, vars)
+		if rx.elem != nil {
+			return *rx.elem
+		}
+		return rtype{}
+	case *ast.CallExpr:
+		results, bind, _, ok := env.callResults(v, vars)
+		if !ok || len(results) == 0 {
+			return rtype{}
+		}
+		return env.resolveTypeExpr(results[0], bind)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND || v.Op == token.ARROW {
+			return env.resolveValueExpr(v.X, vars)
+		}
+	case *ast.StarExpr:
+		return env.resolveValueExpr(v.X, vars)
+	case *ast.TypeAssertExpr:
+		if v.Type != nil {
+			return env.resolveTypeExpr(v.Type, nil)
+		}
+	case *ast.CompositeLit:
+		if v.Type != nil {
+			return env.resolveTypeExpr(v.Type, nil)
+		}
+	}
+	return rtype{}
+}
+
+// funcSummary is one function's contribution to the interprocedural
+// pass: the mutex classes it acquires directly and the same-package
+// functions it calls.
+type funcSummary struct {
+	acquires map[string]token.Pos
+	calls    map[string]bool
+}
+
+type acqEdgeRec struct {
+	held     string
+	acquired string
+	pos      token.Pos
+}
+
+type heldCallRec struct {
+	callee string
+	held   []string
+	pos    token.Pos
+}
+
+// lockOrderWalk walks one function, tracking which mutex classes are
+// held (mapped to the identifier that locked them, for the pair
+// idiom) through the same flow constructs the lock-discipline analyzer
+// handles: branch copies with intersection merges, terminating
+// branches, deferred unlocks keeping locks held, and go-closures
+// starting empty.
+type lockOrderWalk struct {
+	fset         *token.FileSet
+	env          *pkgEnv
+	key          string // "Type.method", "func", or "" for unkeyed
+	funcName     string
+	vars         map[string]rtype
+	orderedPairs map[string]bool
+	summary      *funcSummary
+	acqEdges     []acqEdgeRec
+	heldCalls    []heldCallRec
+	diags        []Diag
+}
+
+func newLockOrderWalk(fset *token.FileSet, env *pkgEnv, fd *ast.FuncDecl) *lockOrderWalk {
+	w := &lockOrderWalk{
+		fset:         fset,
+		env:          env,
+		funcName:     fd.Name.Name,
+		vars:         make(map[string]rtype),
+		orderedPairs: collectOrderedPairs(fd.Body),
+		summary:      &funcSummary{acquires: make(map[string]token.Pos), calls: make(map[string]bool)},
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		w.key = fd.Name.Name
+	} else {
+		recvType := receiverTypeName(fd.Recv.List[0].Type)
+		if recvType != "" {
+			w.key = recvType + "." + fd.Name.Name
+			if len(fd.Recv.List[0].Names) > 0 {
+				w.vars[fd.Recv.List[0].Names[0].Name] = rtype{name: recvType}
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, p := range fd.Type.Params.List {
+			pt := env.resolveTypeExpr(p.Type, nil)
+			for _, n := range p.Names {
+				w.vars[n.Name] = pt
+			}
+		}
+	}
+	return w
+}
+
+// collectOrderedPairs finds the ascending-order pair idiom: an if
+// statement whose condition is an ordering comparison and whose body
+// swaps exactly two identifiers (lo, hi = b, a). Locking the same
+// mutex class through both identifiers of such a pair is a
+// deterministic acquisition order, not a deadlock.
+func collectOrderedPairs(body *ast.BlockStmt) map[string]bool {
+	pairs := make(map[string]bool)
+	if body == nil {
+		return pairs
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cmp, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch cmp.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		for _, st := range ifs.Body.List {
+			as, ok := st.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 2 {
+				continue
+			}
+			a, aok := as.Lhs[0].(*ast.Ident)
+			b, bok := as.Lhs[1].(*ast.Ident)
+			if aok && bok {
+				pairs[pairKey(a.Name, b.Name)] = true
+			}
+		}
+		return true
+	})
+	return pairs
+}
+
+func pairKey(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+func copyLockers(held map[string]string) map[string]string {
+	c := make(map[string]string, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func mergeLockers(into, other map[string]string) {
+	for k := range into {
+		if _, ok := other[k]; !ok {
+			delete(into, k)
+		}
+	}
+}
+
+func (w *lockOrderWalk) heldKeys(held map[string]string) []string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// block walks statements in order; it returns true if the block always
+// terminates.
+func (w *lockOrderWalk) block(stmts []ast.Stmt, held map[string]string) bool {
+	for _, s := range stmts {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockOrderWalk) stmt(s ast.Stmt, held map[string]string) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		w.bindAssign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					w.expr(v, held)
+				}
+				w.bindValueSpec(vs)
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return w.block(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		thenHeld := copyLockers(held)
+		thenTerm := w.block(s.Body.List, thenHeld)
+		var elseHeld map[string]string
+		elseTerm := false
+		if s.Else != nil {
+			elseHeld = copyLockers(held)
+			elseTerm = w.stmt(s.Else, elseHeld)
+		}
+		switch {
+		case s.Else == nil:
+			if !thenTerm {
+				mergeLockers(held, thenHeld)
+			}
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replaceLockers(held, elseHeld)
+		case elseTerm:
+			replaceLockers(held, thenHeld)
+		default:
+			mergeLockers(thenHeld, elseHeld)
+			replaceLockers(held, thenHeld)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		bodyHeld := copyLockers(held)
+		w.block(s.Body.List, bodyHeld)
+		if s.Post != nil {
+			w.stmt(s.Post, bodyHeld)
+		}
+		mergeLockers(held, bodyHeld)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		bodyHeld := copyLockers(held)
+		w.block(s.Body.List, bodyHeld)
+		mergeLockers(held, bodyHeld)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		w.caseClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.caseClauses(s.Body, held)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if comm, ok := c.(*ast.CommClause); ok {
+				caseHeld := copyLockers(held)
+				if comm.Comm != nil {
+					w.stmt(comm.Comm, caseHeld)
+				}
+				w.block(comm.Body, caseHeld)
+				mergeLockers(held, caseHeld)
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred recv.mu.Unlock() — plain or wrapped in a closure —
+		// keeps the mutex held to function end. Other deferred calls run
+		// at exit under the deferred-unlock state, which the current
+		// state approximates.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			for _, e := range s.Call.Args {
+				w.expr(e, held)
+			}
+			w.block(fl.Body.List, copyLockers(held))
+		} else if _, _, _, isMutexOp := w.lockCall(s.Call); !isMutexOp {
+			for _, e := range s.Call.Args {
+				w.expr(e, held)
+			}
+		}
+	case *ast.GoStmt:
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.block(fl.Body.List, make(map[string]string))
+		}
+		for _, e := range s.Call.Args {
+			w.expr(e, held)
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	}
+	return false
+}
+
+func replaceLockers(into, from map[string]string) {
+	for k := range into {
+		delete(into, k)
+	}
+	for k, v := range from {
+		into[k] = v
+	}
+}
+
+func (w *lockOrderWalk) caseClauses(body *ast.BlockStmt, held map[string]string) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			caseHeld := copyLockers(held)
+			for _, e := range cc.List {
+				w.expr(e, caseHeld)
+			}
+			w.block(cc.Body, caseHeld)
+			mergeLockers(held, caseHeld)
+		}
+	}
+}
+
+// bindAssign records the types of assigned identifiers.
+func (w *lockOrderWalk) bindAssign(s *ast.AssignStmt) {
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				w.vars[id.Name] = w.env.resolveValueExpr(s.Rhs[i], w.vars)
+			}
+		}
+		return
+	}
+	// Multi-value: x, ok := call()
+	if len(s.Rhs) == 1 {
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		results, bind, _, ok := w.env.callResults(call, w.vars)
+		if !ok {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			id, isID := lhs.(*ast.Ident)
+			if !isID || id.Name == "_" || i >= len(results) {
+				continue
+			}
+			w.vars[id.Name] = w.env.resolveTypeExpr(results[i], bind)
+		}
+	}
+}
+
+func (w *lockOrderWalk) bindValueSpec(vs *ast.ValueSpec) {
+	if vs.Type != nil {
+		vt := w.env.resolveTypeExpr(vs.Type, nil)
+		for _, n := range vs.Names {
+			w.vars[n.Name] = vt
+		}
+		return
+	}
+	for i, n := range vs.Names {
+		if i < len(vs.Values) {
+			w.vars[n.Name] = w.env.resolveValueExpr(vs.Values[i], w.vars)
+		}
+	}
+}
+
+// lockCall decodes x.Lock() / x.mu.Lock() style calls. class is the
+// mutex class ("Struct.field" or package var), locker the identifier
+// the lock is reached through (for the pair idiom), isAcquire true for
+// Lock/RLock. ok is false when the call is not a resolvable mutex
+// operation.
+func (w *lockOrderWalk) lockCall(call *ast.CallExpr) (class, locker string, isAcquire, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	if !selOK {
+		return "", "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		isAcquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", "", false, false
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		// Package-level mutex variable: patternMu.Lock().
+		if w.env.mutexes[x.Name] {
+			return x.Name, "", isAcquire, true
+		}
+	case *ast.SelectorExpr:
+		owner := w.env.resolveValueExpr(x.X, w.vars)
+		if owner.name == "" {
+			return "", "", false, false
+		}
+		c := owner.name + "." + x.Sel.Name
+		if !w.env.mutexes[c] {
+			return "", "", false, false
+		}
+		if id, isID := x.X.(*ast.Ident); isID {
+			locker = id.Name
+		}
+		return c, locker, isAcquire, true
+	}
+	return "", "", false, false
+}
+
+// expr applies lock effects and records call facts within one
+// expression.
+func (w *lockOrderWalk) expr(e ast.Expr, held map[string]string) {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if class, locker, isAcquire, ok := w.lockCall(e); ok {
+			if isAcquire {
+				w.acquire(class, locker, e.Pos(), held)
+			} else {
+				delete(held, class)
+			}
+			return
+		}
+		if _, _, callee, ok := w.env.callResults(e, w.vars); ok && callee != "" {
+			w.summary.calls[callee] = true
+			if len(held) > 0 {
+				w.heldCalls = append(w.heldCalls, heldCallRec{
+					callee: callee, held: w.heldKeys(held), pos: e.Pos(),
+				})
+			}
+		}
+		w.expr(e.Fun, held)
+		for _, arg := range e.Args {
+			w.expr(arg, held)
+		}
+	case *ast.FuncLit:
+		w.block(e.Body.List, copyLockers(held))
+	case *ast.Ident, *ast.BasicLit:
+	default:
+		ast.Inspect(e, func(n ast.Node) bool {
+			if n == e {
+				return true
+			}
+			if sub, ok := n.(ast.Expr); ok {
+				w.expr(sub, held)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// acquire records a Lock/RLock of class through locker while held.
+func (w *lockOrderWalk) acquire(class, locker string, pos token.Pos, held map[string]string) {
+	if _, seen := w.summary.acquires[class]; !seen {
+		w.summary.acquires[class] = pos
+	}
+	for h, hLocker := range held {
+		if h != class {
+			w.acqEdges = append(w.acqEdges, acqEdgeRec{held: h, acquired: class, pos: pos})
+			continue
+		}
+		// Same class twice: fine only through the ordered-pair idiom.
+		if locker != "" && hLocker != "" && locker != hLocker && w.orderedPairs[pairKey(locker, hLocker)] {
+			continue
+		}
+		p := w.fset.Position(pos)
+		w.diags = append(w.diags, Diag{
+			File: p.Filename, Line: p.Line, Col: p.Column, Rule: "lockorder",
+			Msg: fmt.Sprintf("%s acquired in %s while another %s is already held (no ordered-pair idiom: lock both through a conditionally swapped lo/hi pair)",
+				class, w.funcName, class),
+		})
+	}
+	if _, already := held[class]; !already {
+		held[class] = locker
+	}
+}

@@ -1,0 +1,374 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Lock-order analysis. The analyzer walks every function in a package,
+// records which mutexes are acquired while others are held (the lock
+// acquisition graph), and reports:
+//
+//   - any edge that contradicts a canonical order declared in a
+//     machine-readable "// lock-order:" block on a struct's doc comment
+//     (see parseLockOrderDecls for the syntax);
+//   - any cycle in the acquisition graph, declared order or not;
+//   - any re-acquisition of a mutex class already held, unless the
+//     function uses the ascending-ID pair idiom (two locks of the same
+//     class taken in an order fixed by a conditional swap, as
+//     xserver's CopyArea does for same-depth pixmap pairs).
+//
+// Mutex identity is the *class*, not the instance: "Server.treeMu" is
+// the treeMu field of any Server, "pixmap.mu" is the mu field of any
+// pixmap, and a package-level "var patternMu sync.Mutex" is just
+// "patternMu". The analysis is interprocedural one call level deep
+// through same-package helpers: when f calls g while holding H, every
+// mutex g (or a function g directly calls) acquires becomes an edge
+// from H. Like the rest of tkcheck it is syntactic — types are
+// resolved from declarations in the files at hand (receiver and
+// parameter types, struct field types, same-package function results
+// with single-parameter generic substitution), and anything it cannot
+// resolve is skipped rather than guessed.
+
+// A mutex class is named "Struct.field" or "pkgvar".
+
+// chainPos places a declared mutex within the declared order: its
+// chain index and its level along that chain. Mutexes on different
+// chains are declared independent (never held together); mutexes at
+// the same level of one chain are a leaf group (never nested).
+type chainPos struct {
+	chain, level int
+}
+
+// lockDecls is the parsed "// lock-order:" declaration set of one
+// package.
+type lockDecls struct {
+	rank map[string]chainPos
+	pos  token.Pos // position of the first declaration block
+}
+
+// CheckLockOrder analyzes one package's files.
+func CheckLockOrder(fset *token.FileSet, files []*ast.File) []Diag {
+	env := newPkgEnv(files)
+	if len(env.mutexes) == 0 {
+		return nil
+	}
+	var diags []Diag
+	decls := parseLockOrderDecls(fset, files, env, &diags)
+
+	// First pass: per-function walks collect direct acquisitions,
+	// held-at acquisition edges, and calls made while holding locks.
+	summaries := make(map[string]*funcSummary)
+	var walks []*lockOrderWalk
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := newLockOrderWalk(fset, env, fd)
+			w.block(fd.Body.List, make(map[string]string))
+			walks = append(walks, w)
+			if w.key != "" {
+				summaries[w.key] = w.summary
+			}
+		}
+	}
+
+	// Second pass: expand calls made under held locks into edges, one
+	// call level deep (the callee's own acquisitions plus those of
+	// functions the callee directly calls).
+	edges := make(map[string]map[string]lockEdge)
+	addEdge := func(from, to string, pos token.Pos, site string) {
+		if from == to {
+			return
+		}
+		if edges[from] == nil {
+			edges[from] = make(map[string]lockEdge)
+		}
+		if _, ok := edges[from][to]; !ok {
+			edges[from][to] = lockEdge{pos: pos, site: site}
+		}
+	}
+	for _, w := range walks {
+		for _, acq := range w.acqEdges {
+			addEdge(acq.held, acq.acquired, acq.pos, "")
+		}
+		for _, call := range w.heldCalls {
+			sum := summaries[call.callee]
+			if sum == nil {
+				continue
+			}
+			for m := range effectiveAcquires(call.callee, summaries, 1) {
+				for _, h := range call.held {
+					addEdge(h, m, call.pos, fmt.Sprintf(" (via call to %s)", call.callee))
+				}
+			}
+		}
+		diags = append(diags, w.diags...)
+	}
+
+	// Declared-order check: every edge must be consistent with the
+	// declaration.
+	if decls != nil {
+		froms := make([]string, 0, len(edges))
+		for from := range edges {
+			froms = append(froms, from)
+		}
+		sort.Strings(froms)
+		for _, from := range froms {
+			tos := make([]string, 0, len(edges[from]))
+			for to := range edges[from] {
+				tos = append(tos, to)
+			}
+			sort.Strings(tos)
+			for _, to := range tos {
+				e := edges[from][to]
+				fp, fok := decls.rank[from]
+				tp, tok := decls.rank[to]
+				if !fok || !tok {
+					continue
+				}
+				p := fset.Position(e.pos)
+				switch {
+				case fp.chain != tp.chain:
+					diags = append(diags, Diag{
+						File: p.Filename, Line: p.Line, Col: p.Column, Rule: "lockorder",
+						Msg: fmt.Sprintf("%s acquired while %s is held%s, but the lock-order declaration puts them on independent chains (they must never be held together)",
+							to, from, e.site),
+					})
+				case fp.level == tp.level:
+					diags = append(diags, Diag{
+						File: p.Filename, Line: p.Line, Col: p.Column, Rule: "lockorder",
+						Msg: fmt.Sprintf("%s acquired while %s is held%s, but both are members of the same lock-order leaf group (group members must not nest)",
+							to, from, e.site),
+					})
+				case fp.level > tp.level:
+					diags = append(diags, Diag{
+						File: p.Filename, Line: p.Line, Col: p.Column, Rule: "lockorder",
+						Msg: fmt.Sprintf("%s acquired while %s is held%s, contradicting the declared lock order (%s is ordered before %s)",
+							to, from, e.site, to, from),
+					})
+				}
+			}
+		}
+	}
+
+	// Cycle check over the whole graph, declared or not.
+	diags = append(diags, findLockCycles(fset, edges)...)
+	return diags
+}
+
+// effectiveAcquires returns the mutexes callee acquires directly plus,
+// when depth > 0, those acquired by functions callee directly calls.
+func effectiveAcquires(callee string, summaries map[string]*funcSummary, depth int) map[string]bool {
+	out := make(map[string]bool)
+	sum := summaries[callee]
+	if sum == nil {
+		return out
+	}
+	for m := range sum.acquires {
+		out[m] = true
+	}
+	if depth > 0 {
+		for g := range sum.calls {
+			if g == callee {
+				continue
+			}
+			for m := range effectiveAcquires(g, summaries, depth-1) {
+				out[m] = true
+			}
+		}
+	}
+	return out
+}
+
+// lockEdge is one acquisition-graph edge: "to" was acquired while
+// "from" was held, first observed at pos.
+type lockEdge struct {
+	pos  token.Pos
+	site string // how the edge arises, for the message
+}
+
+// findLockCycles reports each cycle in the acquisition graph once.
+func findLockCycles(fset *token.FileSet, edges map[string]map[string]lockEdge) []Diag {
+	nodes := make([]string, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	var diags []Diag
+	seen := make(map[string]bool) // normalized cycle -> reported
+	state := make(map[string]int) // 0 unvisited, 1 on stack, 2 done
+	var stack []string
+	var visit func(n string)
+	visit = func(n string) {
+		state[n] = 1
+		stack = append(stack, n)
+		tos := make([]string, 0, len(edges[n]))
+		for to := range edges[n] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			switch state[to] {
+			case 0:
+				visit(to)
+			case 1:
+				// Back edge n -> to closes a cycle: to ... n -> to.
+				i := 0
+				for ; i < len(stack); i++ {
+					if stack[i] == to {
+						break
+					}
+				}
+				cyc := append(append([]string{}, stack[i:]...), to)
+				key := normalizeCycle(cyc)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				e := edges[n][to]
+				p := fset.Position(e.pos)
+				diags = append(diags, Diag{
+					File: p.Filename, Line: p.Line, Col: p.Column, Rule: "lockorder",
+					Msg: fmt.Sprintf("lock-order cycle: %s%s", strings.Join(cyc, " -> "), e.site),
+				})
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[n] = 2
+	}
+	for _, n := range nodes {
+		if state[n] == 0 {
+			visit(n)
+		}
+	}
+	return diags
+}
+
+// normalizeCycle produces a rotation-independent key for a cycle path
+// of the form a -> b -> ... -> a.
+func normalizeCycle(cyc []string) string {
+	body := cyc[:len(cyc)-1]
+	min := 0
+	for i := range body {
+		if body[i] < body[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string{}, body[min:]...), body[:min]...)
+	return strings.Join(rot, "->")
+}
+
+// parseLockOrderDecls scans struct doc comments for "lock-order:"
+// lines. The grammar, one chain per line:
+//
+//	// lock-order: treeMu -> pixmap.mu -> {atomsMu, fontsMu}
+//	// lock-order: connsMu
+//
+// "->" separates levels from outermost to innermost; "{a, b}" declares
+// a leaf group whose members must never nest in each other; a bare
+// name is a mutex field of the annotated struct; "Type.field" names a
+// mutex field of another struct in the package, and a package-level
+// mutex variable is named bare on a struct of the package that anchors
+// the declaration. Separate lines are independent chains: two mutexes
+// on different chains must never be held together. Returns nil when
+// the package declares nothing.
+func parseLockOrderDecls(fset *token.FileSet, files []*ast.File, env *pkgEnv, diags *[]Diag) *lockDecls {
+	d := &lockDecls{rank: make(map[string]chainPos)}
+	chain := 0
+	found := false
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if doc == nil {
+					continue
+				}
+				for _, line := range strings.Split(doc.Text(), "\n") {
+					line = strings.TrimSpace(line)
+					rest, ok := strings.CutPrefix(line, "lock-order:")
+					if !ok {
+						continue
+					}
+					if !found {
+						found = true
+						d.pos = doc.Pos()
+					}
+					parseLockOrderLine(fset, doc.Pos(), ts.Name.Name, rest, chain, d, env, diags)
+					chain++
+				}
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	return d
+}
+
+func parseLockOrderLine(fset *token.FileSet, pos token.Pos, owner, line string, chain int, d *lockDecls, env *pkgEnv, diags *[]Diag) {
+	declDiag := func(format string, args ...any) {
+		p := fset.Position(pos)
+		*diags = append(*diags, Diag{
+			File: p.Filename, Line: p.Line, Col: p.Column, Rule: "lockorder",
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	for level, part := range strings.Split(line, "->") {
+		part = strings.TrimSpace(part)
+		var names []string
+		if strings.HasPrefix(part, "{") {
+			if !strings.HasSuffix(part, "}") {
+				declDiag("malformed lock-order group %q (want {a, b, ...})", part)
+				continue
+			}
+			for _, n := range strings.Split(part[1:len(part)-1], ",") {
+				names = append(names, strings.TrimSpace(n))
+			}
+		} else {
+			names = []string{part}
+		}
+		for _, n := range names {
+			if n == "" {
+				declDiag("empty name in lock-order declaration %q", line)
+				continue
+			}
+			id := n
+			if !strings.Contains(n, ".") {
+				// A bare name is a field of the annotated struct, or a
+				// package-level mutex variable.
+				if env.mutexes[owner+"."+n] {
+					id = owner + "." + n
+				}
+			}
+			if !env.mutexes[id] {
+				declDiag("lock-order declaration names %q, which is not a mutex known to this package", n)
+				continue
+			}
+			if prev, dup := d.rank[id]; dup {
+				declDiag("lock-order declaration names %s twice (chains %d and %d)", id, prev.chain, chain)
+				continue
+			}
+			d.rank[id] = chainPos{chain: chain, level: level}
+		}
+	}
+}

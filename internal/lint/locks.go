@@ -296,8 +296,17 @@ func (a *lockAnalyzer) stmt(s ast.Stmt, held map[string]bool) bool {
 		// defer recv.mu.Unlock() keeps the mutex held to function end;
 		// other deferred calls run at exit with an unknowable state, so
 		// their bodies are analyzed with the current state (the common
-		// idiom defers cleanup created under the same lock).
+		// idiom defers cleanup created under the same lock). The
+		// unlock-in-closure form, defer func() { recv.mu.Unlock() }(),
+		// behaves the same way: the Unlock applies only to the closure's
+		// own copy of the state, so the mutex stays held in the
+		// enclosing function. Call arguments are evaluated at the defer
+		// statement itself, so they are checked against the current
+		// state in both forms.
 		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			for _, e := range s.Call.Args {
+				a.expr(e, held)
+			}
 			a.block(fl.Body.List, copyHeld(held))
 		} else {
 			for _, e := range s.Call.Args {

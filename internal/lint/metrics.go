@@ -1,0 +1,371 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics-name registry analysis. Every obs counter/gauge/histogram
+// name constructed in Go must appear in the documented metrics
+// registry, and every documented name must be constructed somewhere —
+// the observability surface cannot silently drift in either direction.
+//
+// Code side: string arguments to .Counter(...) / .Gauge(...) /
+// .Histogram(...) calls. Besides plain literals the collector resolves
+// package-level string constants (fault's CtrJitter et al), one level
+// of wrapper function (a function that forwards a string parameter
+// into a metric accessor names metrics at its call sites, like
+// fault.Conn.inject), and "prefix." + expr concatenations, which
+// normalize to the pattern "prefix.*".
+//
+// Doc side: fenced code blocks tagged "metrics-registry" in Markdown
+// files (docs/observability.md holds the canonical one). Each
+// non-comment line's first field is a metric name; <placeholder>
+// segments normalize to "*", so "requests.<OpName>" matches the
+// code-side pattern "requests.*" and "lockwait.<subsystem>" matches
+// every literal lockwait name.
+//
+// Like the opcode analyzer this is a cross-target facts accumulator:
+// names are collected per package and per document, and the two sides
+// are compared only once both have been seen, so partial runs (Go
+// files only, or docs only) stay silent.
+
+type metricSite struct {
+	file string
+	line int
+	col  int
+}
+
+// MetricsFacts accumulates metric names across packages and documents.
+type MetricsFacts struct {
+	codeSeen bool
+	docSeen  bool
+	code     map[string]metricSite // name or "prefix.*" pattern -> first site
+	doc      map[string]metricSite // normalized doc name -> site
+	extra    []Diag                // site-local problems (dynamic names)
+}
+
+// NewMetricsFacts returns empty accumulation state.
+func NewMetricsFacts() *MetricsFacts {
+	return &MetricsFacts{
+		code: make(map[string]metricSite),
+		doc:  make(map[string]metricSite),
+	}
+}
+
+// Merge folds another accumulator (e.g. a parallel worker's) into m.
+func (m *MetricsFacts) Merge(other *MetricsFacts) {
+	m.codeSeen = m.codeSeen || other.codeSeen
+	m.docSeen = m.docSeen || other.docSeen
+	for name, site := range other.code {
+		if cur, ok := m.code[name]; !ok || earlierSite(site, cur) {
+			m.code[name] = site
+		}
+	}
+	for name, site := range other.doc {
+		if cur, ok := m.doc[name]; !ok || earlierSite(site, cur) {
+			m.doc[name] = site
+		}
+	}
+	m.extra = append(m.extra, other.extra...)
+}
+
+func earlierSite(a, b metricSite) bool {
+	if a.file != b.file {
+		return a.file < b.file
+	}
+	if a.line != b.line {
+		return a.line < b.line
+	}
+	return a.col < b.col
+}
+
+var metricAccessors = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// CollectPackage gathers metric names from one package's files.
+func (m *MetricsFacts) CollectPackage(fset *token.FileSet, files []*ast.File) {
+	consts := packageStringConsts(files)
+	wrappers := metricWrappers(files)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := paramNames(fd.Type)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				var arg ast.Expr
+				switch {
+				case metricAccessors[sel.Sel.Name] && len(call.Args) == 1:
+					arg = call.Args[0]
+				default:
+					idx, isWrapper := wrappers[sel.Sel.Name]
+					if !isWrapper || idx >= len(call.Args) {
+						return true
+					}
+					arg = call.Args[idx]
+				}
+				m.recordCodeName(fset, arg, consts, params)
+				return true
+			})
+		}
+	}
+	m.codeSeen = true
+}
+
+func (m *MetricsFacts) recordCodeName(fset *token.FileSet, arg ast.Expr, consts map[string]string, params map[string]bool) {
+	p := fset.Position(arg.Pos())
+	site := metricSite{file: p.Filename, line: p.Line, col: p.Column}
+	add := func(name string) {
+		if cur, ok := m.code[name]; !ok || earlierSite(site, cur) {
+			m.code[name] = site
+		}
+	}
+	switch v := arg.(type) {
+	case *ast.BasicLit:
+		if v.Kind == token.STRING {
+			if s, err := strconv.Unquote(v.Value); err == nil {
+				add(s)
+				return
+			}
+		}
+	case *ast.Ident:
+		if s, ok := consts[v.Name]; ok {
+			add(s)
+			return
+		}
+		if params[v.Name] {
+			// The enclosing function is a name-forwarding wrapper; its
+			// call sites supply the names.
+			return
+		}
+	case *ast.BinaryExpr:
+		// "prefix." + dynamic normalizes to the pattern "prefix.*".
+		if v.Op == token.ADD {
+			if lit, ok := v.X.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				if s, err := strconv.Unquote(lit.Value); err == nil && s != "" {
+					add(s + "*")
+					return
+				}
+			}
+		}
+	}
+	m.extra = append(m.extra, Diag{
+		File: p.Filename, Line: p.Line, Col: p.Column, Rule: "metrics",
+		Msg: "metric name is dynamic (not a string literal, package const, wrapper parameter, or \"prefix.\"+expr) and cannot be checked against the registry",
+	})
+}
+
+// packageStringConsts collects top-level string constants.
+func packageStringConsts(files []*ast.File) map[string]string {
+	consts := make(map[string]string)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						break
+					}
+					lit, ok := vs.Values[i].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					if s, err := strconv.Unquote(lit.Value); err == nil {
+						consts[name.Name] = s
+					}
+				}
+			}
+		}
+	}
+	return consts
+}
+
+// metricWrappers finds functions that forward a string parameter into
+// a metric accessor, mapping wrapper name to the forwarded parameter's
+// index. One level only: wrappers of wrappers are not resolved.
+func metricWrappers(files []*ast.File) map[string]int {
+	wrappers := make(map[string]int)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			idx := paramIndexes(fd.Type)
+			if len(idx) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !metricAccessors[sel.Sel.Name] || len(call.Args) != 1 {
+					return true
+				}
+				if id, ok := call.Args[0].(*ast.Ident); ok {
+					if i, isParam := idx[id.Name]; isParam {
+						wrappers[fd.Name.Name] = i
+					}
+				}
+				return true
+			})
+		}
+	}
+	return wrappers
+}
+
+func paramIndexes(ft *ast.FuncType) map[string]int {
+	idx := make(map[string]int)
+	if ft.Params == nil {
+		return idx
+	}
+	i := 0
+	for _, p := range ft.Params.List {
+		for _, n := range p.Names {
+			idx[n.Name] = i
+			i++
+		}
+		if len(p.Names) == 0 {
+			i++
+		}
+	}
+	return idx
+}
+
+func paramNames(ft *ast.FuncType) map[string]bool {
+	names := make(map[string]bool)
+	for n := range paramIndexes(ft) {
+		names[n] = true
+	}
+	return names
+}
+
+var (
+	fenceRe       = regexp.MustCompile("^```+")
+	placeholderRe = regexp.MustCompile(`<[^<>]*>`)
+)
+
+// CollectDoc gathers metric names from "metrics-registry" fenced
+// blocks in one Markdown document.
+func (m *MetricsFacts) CollectDoc(path string, src string) {
+	inBlock := false
+	for i, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if fence := fenceRe.FindString(trimmed); fence != "" {
+			if inBlock {
+				inBlock = false
+				continue
+			}
+			info := strings.TrimSpace(strings.TrimPrefix(trimmed, fence))
+			if info == "metrics-registry" {
+				inBlock = true
+				m.docSeen = true
+			}
+			continue
+		}
+		if !inBlock || trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		name := strings.Fields(trimmed)[0]
+		name = placeholderRe.ReplaceAllString(name, "*")
+		site := metricSite{file: path, line: i + 1, col: 1}
+		if cur, ok := m.doc[name]; !ok || earlierSite(site, cur) {
+			m.doc[name] = site
+		}
+	}
+}
+
+// nameMatches reports whether a code-side name and a doc-side entry
+// refer to the same metric. Doc entries may contain "*" wildcards
+// (from <placeholder> segments); a code-side pattern ("prefix.*")
+// must match the doc entry exactly.
+func nameMatches(code, doc string) bool {
+	if code == doc {
+		return true
+	}
+	if strings.Contains(code, "*") {
+		return false
+	}
+	if strings.Contains(doc, "*") {
+		ok, err := path.Match(doc, code)
+		return err == nil && ok
+	}
+	return false
+}
+
+// Diags compares the two sides. Evaluation is gated on having seen
+// both Go code and a registry document, so partial runs stay silent.
+func (m *MetricsFacts) Diags() []Diag {
+	diags := append([]Diag(nil), m.extra...)
+	if !m.codeSeen || !m.docSeen {
+		return diags
+	}
+	codeNames := sortedKeys(m.code)
+	docNames := sortedKeys(m.doc)
+	for _, cn := range codeNames {
+		matched := false
+		for _, dn := range docNames {
+			if nameMatches(cn, dn) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			site := m.code[cn]
+			diags = append(diags, Diag{
+				File: site.file, Line: site.line, Col: site.col, Rule: "metrics",
+				Msg: fmt.Sprintf("metric %q is not documented in the metrics registry (add it to the metrics-registry block in docs/observability.md)", cn),
+			})
+		}
+	}
+	for _, dn := range docNames {
+		matched := false
+		for _, cn := range codeNames {
+			if nameMatches(cn, dn) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			site := m.doc[dn]
+			diags = append(diags, Diag{
+				File: site.file, Line: site.line, Col: site.col, Rule: "metrics",
+				Msg: fmt.Sprintf("documented metric %q is not constructed anywhere in the scanned Go code (stale registry entry?)", dn),
+			})
+		}
+	}
+	return diags
+}
+
+func sortedKeys(m map[string]metricSite) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

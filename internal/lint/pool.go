@@ -1,0 +1,553 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Pool-lifetime analysis. The zero-alloc reply path hands out pooled
+// values through two idioms this analyzer knows:
+//
+//   - w := xproto.AcquireWriter() ... xproto.ReleaseWriter(w) — an
+//     acquire/release pair around a reusable wire-format Writer;
+//   - bp := somePool.Get().(*T) ... somePool.Put(bp) — a raw sync.Pool
+//     checkout, where sending bp down a channel transfers ownership to
+//     the receiver (the conn.out frame-buffer handoff).
+//
+// For every function it flags, per return path: a pooled value that is
+// neither released nor deferred-released (an early return — or a panic
+// — leaks the value); any use of a value after it went back to the
+// pool; and pooled values escaping their function through channel
+// sends (Writers), struct or container stores, or return values. A
+// function whose name starts with "Acquire" may return a raw pool
+// checkout — that is the accessor idiom itself.
+//
+// Like the other Go analyzers this is syntactic: it tracks simple
+// identifiers within one function, treats a deferred release (plain or
+// closure-wrapped) as covering all paths, and analyzes branches with
+// the same copy-and-merge flow the lock analyzers use.
+
+// release states for one tracked value along the current path.
+const (
+	poolLive  = iota // checked out, not yet returned to the pool
+	poolMaybe        // released on some merged paths but not all
+	poolDone         // released, transferred, or handed to the caller
+)
+
+const (
+	writerKind = iota // AcquireWriter/ReleaseWriter pairing
+	rawKind           // pool.Get().(T) / pool.Put(x)
+)
+
+type poolVal struct {
+	kind     int
+	pool     string // pool identifier for rawKind ("framePool")
+	acquired token.Position
+	state    int
+	deferred bool // a deferred release covers every exit path
+}
+
+// CheckPoolLifetime analyzes one package's files.
+func CheckPoolLifetime(fset *token.FileSet, files []*ast.File) []Diag {
+	var diags []Diag
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a := &poolAnalyzer{fset: fset, funcName: fd.Name.Name}
+			a.analyzeBody(fd.Body)
+			diags = append(diags, a.diags...)
+		}
+	}
+	return diags
+}
+
+type poolAnalyzer struct {
+	fset     *token.FileSet
+	funcName string
+	diags    []Diag
+}
+
+func (a *poolAnalyzer) diag(pos token.Pos, format string, args ...any) {
+	p := a.fset.Position(pos)
+	a.diags = append(a.diags, Diag{
+		File: p.Filename, Line: p.Line, Col: p.Column, Rule: "pool",
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// analyzeBody runs the path walk over one function (or function
+// literal) body with a fresh tracking scope.
+func (a *poolAnalyzer) analyzeBody(body *ast.BlockStmt) {
+	vals := make(map[string]*poolVal)
+	terminated := a.block(body.List, vals)
+	if !terminated {
+		a.checkLeaks(body.End(), vals)
+	}
+}
+
+// checkLeaks reports every tracked value still live at an exit.
+func (a *poolAnalyzer) checkLeaks(pos token.Pos, vals map[string]*poolVal) {
+	for name, v := range vals {
+		if v.state == poolLive && !v.deferred {
+			what := "pool checkout"
+			if v.kind == writerKind {
+				what = "AcquireWriter result"
+			}
+			a.diag(pos, "%s %q (acquired at line %d) is not released on this return path (missing defer?)",
+				what, name, v.acquired.Line)
+		}
+	}
+}
+
+func copyVals(vals map[string]*poolVal) map[string]*poolVal {
+	c := make(map[string]*poolVal, len(vals))
+	for k, v := range vals {
+		vv := *v
+		c[k] = &vv
+	}
+	return c
+}
+
+// mergeVals folds a branch's end state into the fall-through state.
+func mergeVals(into, other map[string]*poolVal) {
+	for k, v := range into {
+		o, ok := other[k]
+		if !ok {
+			continue
+		}
+		if o.state != v.state {
+			v.state = poolMaybe
+		}
+		v.deferred = v.deferred && o.deferred
+	}
+	for k, o := range other {
+		if _, ok := into[k]; !ok {
+			vv := *o
+			into[k] = &vv
+		}
+	}
+}
+
+func (a *poolAnalyzer) block(stmts []ast.Stmt, vals map[string]*poolVal) bool {
+	for _, s := range stmts {
+		if a.stmt(s, vals) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *poolAnalyzer) stmt(s ast.Stmt, vals map[string]*poolVal) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		a.assign(s, vals)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if name, ok := releaseTarget(call, vals); ok {
+				a.release(name, vals, call.Pos())
+				return false
+			}
+			if isPanicCall(call) {
+				a.useCheckExpr(s.X, vals)
+				a.checkLeaks(s.X.Pos(), vals)
+				return true
+			}
+		}
+		a.useCheckExpr(s.X, vals)
+	case *ast.SendStmt:
+		a.useCheckExpr(s.Chan, vals)
+		if id, ok := s.Value.(*ast.Ident); ok {
+			if v, tracked := vals[id.Name]; tracked {
+				a.useCheck(id, vals)
+				if v.kind == writerKind {
+					a.diag(s.Pos(), "pooled Writer %q escapes through a channel send (pair it with ReleaseWriter in this function instead)", id.Name)
+				}
+				// Raw pool checkouts transfer ownership to the
+				// receiver; the Writer diag above still marks it done
+				// so one escape isn't also reported as a leak.
+				v.state = poolDone
+				return false
+			}
+		}
+		a.useCheckExpr(s.Value, vals)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			if id, ok := e.(*ast.Ident); ok {
+				if v, tracked := vals[id.Name]; tracked && v.state == poolLive {
+					if v.kind == rawKind && strings.HasPrefix(a.funcName, "Acquire") {
+						v.state = poolDone // the accessor idiom hands the value to the caller
+						continue
+					}
+					a.diag(e.Pos(), "pooled value %q escapes via return (the pool can reclaim it while the caller still uses it)", id.Name)
+					v.state = poolDone
+					continue
+				}
+			}
+			a.useCheckExpr(e, vals)
+		}
+		a.checkLeaks(s.Pos(), vals)
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.DeferStmt:
+		a.deferStmt(s, vals)
+	case *ast.GoStmt:
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			a.analyzeBody(fl.Body)
+		}
+		for _, e := range s.Call.Args {
+			a.useCheckExpr(e, vals)
+		}
+	case *ast.IncDecStmt:
+		a.useCheckExpr(s.X, vals)
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				a.useCheckExpr(e, vals)
+				return false
+			}
+			return true
+		})
+	case *ast.BlockStmt:
+		return a.block(s.List, vals)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, vals)
+		}
+		a.useCheckExpr(s.Cond, vals)
+		thenVals := copyVals(vals)
+		thenTerm := a.block(s.Body.List, thenVals)
+		var elseVals map[string]*poolVal
+		elseTerm := false
+		if s.Else != nil {
+			elseVals = copyVals(vals)
+			elseTerm = a.stmt(s.Else, elseVals)
+		}
+		switch {
+		case s.Else == nil:
+			if !thenTerm {
+				mergeVals(vals, thenVals)
+			}
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replaceVals(vals, elseVals)
+		case elseTerm:
+			replaceVals(vals, thenVals)
+		default:
+			mergeVals(thenVals, elseVals)
+			replaceVals(vals, thenVals)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, vals)
+		}
+		if s.Cond != nil {
+			a.useCheckExpr(s.Cond, vals)
+		}
+		bodyVals := copyVals(vals)
+		a.block(s.Body.List, bodyVals)
+		if s.Post != nil {
+			a.stmt(s.Post, bodyVals)
+		}
+		mergeVals(vals, bodyVals)
+	case *ast.RangeStmt:
+		a.useCheckExpr(s.X, vals)
+		bodyVals := copyVals(vals)
+		a.block(s.Body.List, bodyVals)
+		mergeVals(vals, bodyVals)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, vals)
+		}
+		if s.Tag != nil {
+			a.useCheckExpr(s.Tag, vals)
+		}
+		a.caseClauses(s.Body, vals)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, vals)
+		}
+		a.caseClauses(s.Body, vals)
+	case *ast.SelectStmt:
+		type branch struct {
+			vals map[string]*poolVal
+			term bool
+		}
+		var live []map[string]*poolVal
+		allTerm := true
+		for _, c := range s.Body.List {
+			comm, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			b := branch{vals: copyVals(vals)}
+			if comm.Comm != nil {
+				a.stmt(comm.Comm, b.vals)
+			}
+			b.term = a.block(comm.Body, b.vals)
+			if !b.term {
+				live = append(live, b.vals)
+				allTerm = false
+			}
+		}
+		if allTerm && len(s.Body.List) > 0 {
+			return true
+		}
+		if len(live) > 0 {
+			replaceVals(vals, live[0])
+			for _, lv := range live[1:] {
+				mergeVals(vals, lv)
+			}
+		}
+	case *ast.LabeledStmt:
+		return a.stmt(s.Stmt, vals)
+	}
+	return false
+}
+
+func replaceVals(into, from map[string]*poolVal) {
+	for k := range into {
+		delete(into, k)
+	}
+	for k, v := range from {
+		vv := *v
+		into[k] = &vv
+	}
+}
+
+func (a *poolAnalyzer) caseClauses(body *ast.BlockStmt, vals map[string]*poolVal) {
+	first := true
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		caseVals := copyVals(vals)
+		for _, e := range cc.List {
+			a.useCheckExpr(e, caseVals)
+		}
+		term := a.block(cc.Body, caseVals)
+		if term {
+			continue
+		}
+		if first {
+			// A switch may not enter any case; merge against the
+			// entry state as well as across cases.
+			first = false
+		}
+		mergeVals(vals, caseVals)
+	}
+}
+
+// assign handles both acquisition forms and escape-by-store.
+func (a *poolAnalyzer) assign(s *ast.AssignStmt, vals map[string]*poolVal) {
+	// Escape: a tracked value stored through a selector or index
+	// outlives the function's control of it.
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		id, ok := s.Rhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v, tracked := vals[id.Name]
+		if !tracked || v.state != poolLive {
+			continue
+		}
+		switch lhs.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			a.diag(s.Pos(), "pooled value %q escapes via store into a struct or container (the pool can reclaim it out from under the holder)", id.Name)
+			// One report per value: the store is the bug, later
+			// appearances of the identifier are the same escape.
+			delete(vals, id.Name)
+		}
+	}
+	for _, e := range s.Rhs {
+		a.useCheckExpr(e, vals)
+	}
+	for _, e := range s.Lhs {
+		// Writes through *x or x[i] are uses of x itself.
+		if _, isIdent := e.(*ast.Ident); !isIdent {
+			a.useCheckExpr(e, vals)
+		}
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if kind, pool, ok := acquireSource(s.Rhs[0]); ok {
+		vals[id.Name] = &poolVal{
+			kind: kind, pool: pool,
+			acquired: a.fset.Position(s.Rhs[0].Pos()),
+		}
+		return
+	}
+	// Rebinding an identifier drops tracking of the old value.
+	delete(vals, id.Name)
+}
+
+// acquireSource recognizes the two checkout idioms.
+func acquireSource(e ast.Expr) (kind int, pool string, ok bool) {
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		if calleeName(v) == "AcquireWriter" {
+			return writerKind, "", true
+		}
+	case *ast.TypeAssertExpr:
+		call, isCall := v.X.(*ast.CallExpr)
+		if !isCall {
+			return 0, "", false
+		}
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if !isSel || sel.Sel.Name != "Get" {
+			return 0, "", false
+		}
+		p := exprString(sel.X)
+		if p == "" || !strings.Contains(strings.ToLower(p), "pool") {
+			return 0, "", false
+		}
+		return rawKind, p, true
+	}
+	return 0, "", false
+}
+
+// releaseTarget recognizes ReleaseWriter(x) and pool.Put(x) for a
+// tracked x.
+func releaseTarget(call *ast.CallExpr, vals map[string]*poolVal) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	v, tracked := vals[id.Name]
+	if !tracked {
+		return "", false
+	}
+	switch v.kind {
+	case writerKind:
+		if calleeName(call) == "ReleaseWriter" {
+			return id.Name, true
+		}
+	case rawKind:
+		if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel && sel.Sel.Name == "Put" && exprString(sel.X) == v.pool {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+func (a *poolAnalyzer) release(name string, vals map[string]*poolVal, pos token.Pos) {
+	v := vals[name]
+	if v.state == poolDone && !v.deferred {
+		a.diag(pos, "pooled value %q released twice", name)
+		return
+	}
+	v.state = poolDone
+}
+
+func (a *poolAnalyzer) deferStmt(s *ast.DeferStmt, vals map[string]*poolVal) {
+	if name, ok := releaseTarget(s.Call, vals); ok {
+		vals[name].deferred = true
+		vals[name].state = poolDone
+		return
+	}
+	if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		// defer func() { ... ReleaseWriter(w) ... }() covers all paths
+		// just like the plain form.
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if name, isRel := releaseTarget(call, vals); isRel {
+				vals[name].deferred = true
+				vals[name].state = poolDone
+			}
+			return true
+		})
+		for _, e := range s.Call.Args {
+			a.useCheckExpr(e, vals)
+		}
+		return
+	}
+	for _, e := range s.Call.Args {
+		a.useCheckExpr(e, vals)
+	}
+}
+
+// useCheck flags a read of a value that already went back to the pool.
+func (a *poolAnalyzer) useCheck(id *ast.Ident, vals map[string]*poolVal) {
+	v, tracked := vals[id.Name]
+	if !tracked {
+		return
+	}
+	if v.state == poolDone && !v.deferred {
+		a.diag(id.Pos(), "use of pooled value %q after it was released to the pool", id.Name)
+		// One report per value: further uses are the same bug.
+		delete(vals, id.Name)
+	}
+}
+
+// useCheckExpr walks an expression flagging uses of dead values; it
+// also recurses into function literals as independent scopes.
+func (a *poolAnalyzer) useCheckExpr(e ast.Expr, vals map[string]*poolVal) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			a.useCheck(n, vals)
+		case *ast.FuncLit:
+			a.analyzeBody(n.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// calleeName returns the bare function name of a call, qualified or
+// not: xproto.AcquireWriter and AcquireWriter both yield
+// "AcquireWriter".
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// exprString renders a simple identifier-or-selector chain ("x",
+// "pkg.x"); "" for anything more complex.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		base := exprString(v.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + v.Sel.Name
+	}
+	return ""
+}

@@ -8,33 +8,70 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Runner drives a tkcheck run over a set of targets: .tcl files are
 // linted directly, Go files have their Eval/MustEval script literals
-// linted, and each Go directory is additionally analyzed as a package
-// for lock discipline. Opcode facts accumulate across every scanned
-// directory (constants and dispatcher live in different packages) and
-// are evaluated by Finish.
+// linted, each Go directory is analyzed as a package (lock discipline,
+// lock order, pool lifetime, package docs), and Markdown files feed
+// the metrics registry's doc side. Cross-target facts (opcodes,
+// metrics) accumulate across everything scanned and are evaluated by
+// Finish.
+//
+// Check only collects work; Finish fans the collected targets out
+// across a worker pool (one worker per CPU by default), merges each
+// worker's diagnostics and facts, and sorts — so the output is
+// deterministic regardless of scheduling. Read and parse failures
+// discovered during the parallel phase are reported by Errs.
 type Runner struct {
 	Reg *Registry
 	// IncludeTests lints _test.go files too. Off by default: tests
 	// deliberately feed the interpreter bad scripts to exercise its
 	// error paths.
 	IncludeTests bool
+	// Jobs caps the worker pool; 0 means GOMAXPROCS.
+	Jobs int
 
+	work []workItem
+
+	mu      sync.Mutex
 	opcodes *OpcodeFacts
+	metrics *MetricsFacts
 	diags   []Diag
+	errs    []error
+	timings map[string]time.Duration
 }
 
-// NewRunner builds a Runner with a fresh registry and opcode state.
+type workItem struct {
+	kind  int // tclItem, goDirItem, mdItem
+	dir   string
+	paths []string
+}
+
+const (
+	tclItem = iota
+	goDirItem
+	mdItem
+)
+
+// NewRunner builds a Runner with a fresh registry and fact state.
 func NewRunner() *Runner {
-	return &Runner{Reg: NewRegistry(), opcodes: NewOpcodeFacts()}
+	return &Runner{
+		Reg:     NewRegistry(),
+		opcodes: NewOpcodeFacts(),
+		metrics: NewMetricsFacts(),
+		timings: make(map[string]time.Duration),
+	}
 }
 
-// Check analyzes one target: a .tcl file, a .go file, a directory, or a
-// "dir/..." pattern.
+// Check queues one target: a .tcl, .go, or .md file, a directory, or a
+// "dir/..." pattern. Walk and stat problems are reported immediately;
+// the queued work itself runs in Finish.
 func (r *Runner) Check(target string) error {
 	if rest, ok := strings.CutSuffix(target, "..."); ok {
 		root := filepath.Clean(rest)
@@ -53,7 +90,7 @@ func (r *Runner) Check(target string) error {
 				name == "testdata" || name == "vendor") {
 				return filepath.SkipDir
 			}
-			return r.checkDir(path)
+			return r.queueDir(path)
 		})
 	}
 	info, err := os.Stat(target)
@@ -61,26 +98,22 @@ func (r *Runner) Check(target string) error {
 		return err
 	}
 	if info.IsDir() {
-		return r.checkDir(target)
+		return r.queueDir(target)
 	}
 	switch {
 	case strings.HasSuffix(target, ".tcl"):
-		return r.checkTclFile(target)
+		r.work = append(r.work, workItem{kind: tclItem, paths: []string{target}})
 	case strings.HasSuffix(target, ".go"):
-		return r.checkGoFiles(filepath.Dir(target), []string{target})
+		r.work = append(r.work, workItem{kind: goDirItem, dir: filepath.Dir(target), paths: []string{target}})
+	case strings.HasSuffix(target, ".md"):
+		r.work = append(r.work, workItem{kind: mdItem, paths: []string{target}})
+	default:
+		return fmt.Errorf("tkcheck: don't know how to check %q (want a directory, dir/..., *.tcl, *.go or *.md)", target)
 	}
-	return fmt.Errorf("tkcheck: don't know how to check %q (want a directory, dir/..., *.tcl or *.go)", target)
+	return nil
 }
 
-// Finish evaluates the cross-package opcode facts and returns all
-// diagnostics, sorted.
-func (r *Runner) Finish() []Diag {
-	r.diags = append(r.diags, r.opcodes.Diags()...)
-	SortDiags(r.diags)
-	return r.diags
-}
-
-func (r *Runner) checkDir(dir string) error {
+func (r *Runner) queueDir(dir string) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -93,9 +126,9 @@ func (r *Runner) checkDir(dir string) error {
 		name := e.Name()
 		switch {
 		case strings.HasSuffix(name, ".tcl"):
-			if err := r.checkTclFile(filepath.Join(dir, name)); err != nil {
-				return err
-			}
+			r.work = append(r.work, workItem{kind: tclItem, paths: []string{filepath.Join(dir, name)}})
+		case strings.HasSuffix(name, ".md"):
+			r.work = append(r.work, workItem{kind: mdItem, paths: []string{filepath.Join(dir, name)}})
 		case strings.HasSuffix(name, "_test.go"):
 			if r.IncludeTests {
 				goFiles = append(goFiles, filepath.Join(dir, name))
@@ -104,41 +137,194 @@ func (r *Runner) checkDir(dir string) error {
 			goFiles = append(goFiles, filepath.Join(dir, name))
 		}
 	}
-	return r.checkGoFiles(dir, goFiles)
+	if len(goFiles) > 0 {
+		r.work = append(r.work, workItem{kind: goDirItem, dir: dir, paths: goFiles})
+	}
+	return nil
+}
+
+// Finish runs the queued work across the worker pool, evaluates the
+// cross-target facts, and returns all diagnostics, sorted. Check Errs
+// afterwards for read/parse failures.
+func (r *Runner) Finish() []Diag {
+	jobs := r.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(r.work) {
+		jobs = len(r.work)
+	}
+	if jobs > 1 {
+		var wg sync.WaitGroup
+		next := make(chan workItem)
+		for i := 0; i < jobs; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := r.newWorker()
+				for item := range next {
+					w.run(item)
+				}
+				r.mergeWorker(w)
+			}()
+		}
+		for _, item := range r.work {
+			next <- item
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		w := r.newWorker()
+		for _, item := range r.work {
+			w.run(item)
+		}
+		r.mergeWorker(w)
+	}
+	r.work = nil
+	r.diags = append(r.diags, r.opcodes.Diags()...)
+	r.diags = append(r.diags, r.metrics.Diags()...)
+	SortDiags(r.diags)
+	return r.diags
+}
+
+// Errs returns read and parse failures encountered by Finish, in a
+// deterministic order.
+func (r *Runner) Errs() []error {
+	sort.Slice(r.errs, func(i, j int) bool { return r.errs[i].Error() < r.errs[j].Error() })
+	return r.errs
+}
+
+// AnalyzerTiming is cumulative wall time one analyzer spent across all
+// targets (summed across workers, so parallel runs can exceed the
+// run's wall clock).
+type AnalyzerTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Timings reports per-analyzer cost, sorted by name.
+func (r *Runner) Timings() []AnalyzerTiming {
+	out := make([]AnalyzerTiming, 0, len(r.timings))
+	for name, d := range r.timings {
+		out = append(out, AnalyzerTiming{Name: name, Duration: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// worker is one goroutine's private accumulation state; merged under
+// the Runner's lock when the worker drains.
+type worker struct {
+	r       *Runner
+	diags   []Diag
+	errs    []error
+	opcodes *OpcodeFacts
+	metrics *MetricsFacts
+	timings map[string]time.Duration
+}
+
+func (r *Runner) newWorker() *worker {
+	return &worker{
+		r:       r,
+		opcodes: NewOpcodeFacts(),
+		metrics: NewMetricsFacts(),
+		timings: make(map[string]time.Duration),
+	}
+}
+
+func (r *Runner) mergeWorker(w *worker) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.diags = append(r.diags, w.diags...)
+	r.errs = append(r.errs, w.errs...)
+	r.opcodes.Merge(w.opcodes)
+	r.metrics.Merge(w.metrics)
+	for name, d := range w.timings {
+		r.timings[name] += d
+	}
+}
+
+func (w *worker) timed(name string, fn func()) {
+	begin := time.Now()
+	fn()
+	w.timings[name] += time.Since(begin)
+}
+
+func (w *worker) run(item workItem) {
+	switch item.kind {
+	case tclItem:
+		w.checkTclFile(item.paths[0])
+	case mdItem:
+		w.checkDocFile(item.paths[0])
+	case goDirItem:
+		w.checkGoFiles(item.dir, item.paths)
+	}
+}
+
+func (w *worker) checkTclFile(path string) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		w.errs = append(w.errs, err)
+		return
+	}
+	w.timed("scripts", func() {
+		w.diags = append(w.diags, LintScriptSource(path, string(src), w.r.Reg)...)
+	})
+}
+
+func (w *worker) checkDocFile(path string) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		w.errs = append(w.errs, err)
+		return
+	}
+	w.timed("metrics", func() {
+		w.metrics.CollectDoc(path, string(src))
+	})
 }
 
 // checkGoFiles parses a directory's Go files once and runs every Go
-// analysis over them: script-literal linting, opcode-fact collection,
-// lock discipline, and package-doc presence.
-func (r *Runner) checkGoFiles(dir string, paths []string) error {
-	if len(paths) == 0 {
-		return nil
-	}
+// analysis over them: script-literal linting, opcode and metric fact
+// collection, lock discipline, lock order, pool lifetime, and
+// package-doc presence.
+func (w *worker) checkGoFiles(dir string, paths []string) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, path := range paths {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			return err
+			w.errs = append(w.errs, err)
+			return
 		}
-		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		var f *ast.File
+		begin := time.Now()
+		f, err = parser.ParseFile(fset, path, src, parser.ParseComments)
+		w.timings["parse"] += time.Since(begin)
 		if err != nil {
-			return fmt.Errorf("tkcheck: %v", err)
+			w.errs = append(w.errs, fmt.Errorf("tkcheck: %v", err))
+			return
 		}
 		files = append(files, f)
-		r.diags = append(r.diags, lintGoFile(fset, f, string(src), path, r.Reg)...)
-		r.opcodes.Collect(fset, f)
+		w.timed("scripts", func() {
+			w.diags = append(w.diags, lintGoFile(fset, f, string(src), path, w.r.Reg)...)
+		})
+		w.timed("opcodes", func() {
+			w.opcodes.Collect(fset, f)
+		})
 	}
-	r.diags = append(r.diags, CheckLocks(fset, files)...)
-	r.diags = append(r.diags, CheckPackageDoc(dir, fset, files)...)
-	return nil
-}
-
-func (r *Runner) checkTclFile(path string) error {
-	src, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	r.diags = append(r.diags, LintScriptSource(path, string(src), r.Reg)...)
-	return nil
+	w.timed("metrics", func() {
+		w.metrics.CollectPackage(fset, files)
+	})
+	w.timed("locks", func() {
+		w.diags = append(w.diags, CheckLocks(fset, files)...)
+	})
+	w.timed("lockorder", func() {
+		w.diags = append(w.diags, CheckLockOrder(fset, files)...)
+	})
+	w.timed("pool", func() {
+		w.diags = append(w.diags, CheckPoolLifetime(fset, files)...)
+	})
+	w.timed("pkgdoc", func() {
+		w.diags = append(w.diags, CheckPackageDoc(dir, fset, files)...)
+	})
 }

@@ -1,0 +1,30 @@
+// Deferred-closure cases for the lock-discipline analyzer: a
+// closure-wrapped deferred unlock keeps the body guarded, and a
+// deferred call's arguments are evaluated at the defer statement
+// itself, so reading a guarded field there needs the lock.
+package locks
+
+import "sync"
+
+type deferbox struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// closureUnlock releases in a deferred closure: the reads below the
+// defer still run with mu held, so none of them are flagged.
+func (b *deferbox) closureUnlock() int {
+	b.mu.Lock()
+	defer func() { b.mu.Unlock() }()
+	b.n++
+	return b.n
+}
+
+// deferredArgs evaluates the closure's argument at defer time, after
+// the explicit unlock: that read is unguarded.
+func (b *deferbox) deferredArgs() {
+	b.mu.Lock()
+	b.n = 1
+	b.mu.Unlock()
+	defer func(n int) { _ = n }(b.n)
+}

@@ -33,6 +33,14 @@ const DefaultRoundTripTimeout = 30 * time.Second
 const setupTimeout = 10 * time.Second
 
 // Display is an open connection to a display server.
+//
+// Its lock order is declared for cmd/tkcheck's lock-order analyzer:
+// the writer lock may be held while registering a reply waiter, and
+// the event-queue and error-sink locks never nest with anything.
+//
+// lock-order: mu -> pendMu
+// lock-order: evMu
+// lock-order: errMu
 type Display struct {
 	conn net.Conn
 
@@ -167,14 +175,17 @@ func Dial(addr string) (*Display, error) {
 // Close shuts the connection down.
 func (d *Display) Close() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return
 	}
 	d.closed = true
 	d.conn.Close()
 	close(d.stop)
-	// Wake the feeder so it can observe the stop and exit.
+	d.mu.Unlock()
+	// Wake the feeder so it can observe the stop and exit. Signaled
+	// after mu is released: evMu is a leaf and must never nest under
+	// the writer lock (see the lock-order declaration on Display).
 	d.evMu.Lock()
 	d.evCond.Signal()
 	d.evMu.Unlock()

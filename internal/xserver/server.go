@@ -39,6 +39,15 @@ import (
 // two pixmap locks may nest in ascending-ID order (CopyArea between
 // pixmaps). connsMu is independent: never held together with any other
 // server mutex.
+//
+// The declaration below is the machine-readable form of that order;
+// cmd/tkcheck's lock-order analyzer checks every acquisition edge in
+// the package against it (resShard.mu is the class of all three
+// resource tables' shard locks, and the ascending-ID pixmap pair is
+// the one sanctioned same-class nesting).
+//
+// lock-order: treeMu -> pixmap.mu -> {atomsMu, fontsMu, colorsMu, resShard.mu}
+// lock-order: connsMu
 type Server struct {
 	width, height int     // immutable after New
 	root          *window // the pointer is immutable; its contents are guarded by treeMu
