@@ -25,16 +25,18 @@ tkcheck:
 
 bench:
 	$(GO) test -bench=. -benchmem
-	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench|TestEmitMTServerBench' -count=1 .
+	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench|TestEmitMTServerBench|TestEmitSLOBench' -count=1 .
 
-# bench-smoke runs the metrics-path, pipelining and multi-client
-# end-to-end checks (emitting BENCH_obs.json, BENCH_pipeline.json and
-# BENCH_mtserver.json as side effects): roundtrip p50 must track the
-# simulated IPC latency, 8 pipelined round trips must beat 8 serial
-# ones ≥ 4× under the per-segment model, and aggregate throughput at
-# 8 concurrent clients must be ≥ 3× the single-client baseline.
+# bench-smoke runs the metrics-path, pipelining, multi-client and SLO
+# end-to-end checks (emitting BENCH_obs.json, BENCH_pipeline.json,
+# BENCH_mtserver.json and BENCH_slo.json as side effects): roundtrip
+# p50 must track the simulated IPC latency, 8 pipelined round trips
+# must beat 8 serial ones ≥ 4× under the per-segment model, aggregate
+# throughput at 8 concurrent clients must be ≥ 3× the single-client
+# baseline, and span sampling at the default 1-in-64 interval must
+# cost < 5% of pipelined round-trip throughput.
 bench-smoke:
-	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench|TestEmitMTServerBench' -count=1 .
+	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench|TestEmitMTServerBench|TestEmitSLOBench' -count=1 .
 
 # chaos runs the fault-injection harness (chaos_test.go): a real widget
 # workload under a bounded seeded scenario matrix, race-gated, asserting

@@ -1,0 +1,47 @@
+// Shared plumbing for the OBS_BENCH-gated benchmark emitters. Each
+// emitter is a test that runs a fixed workload and writes a
+// BENCH_<name>.json artifact; all of them gate on the same environment
+// variable and emit through the same marshal-and-write path, so those
+// live here once.
+package repro_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// requireObsBench skips the test unless the OBS_BENCH gate is set;
+// artifact names the file the test would have written.
+func requireObsBench(t *testing.T, artifact string) {
+	t.Helper()
+	if os.Getenv("OBS_BENCH") == "" {
+		t.Skipf("set OBS_BENCH=1 to run the workload and emit %s", artifact)
+	}
+}
+
+// writeBenchJSON writes v, indented with a trailing newline, to the
+// named artifact file.
+func writeBenchJSON(t *testing.T, artifact string, v any) {
+	t.Helper()
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(artifact, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// minDuration runs f reps times and returns the fastest run, shielding
+// the emitted numbers from scheduler noise.
+func minDuration(reps int, f func() time.Duration) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		if d := f(); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wish ?-f script? ?-name appName? ?-display addr? ?-trace? ?arg ...?
+//	wish ?-f script? ?-name appName? ?-display addr? ?-trace? ?-spans file? ?arg ...?
 //
 // With -display (or the WISH_DISPLAY environment variable) wish connects
 // to a shared simulated display server started with xsimd, so several
@@ -16,6 +16,12 @@
 // the display connection is decoded (xscope-style); the accumulated
 // trace is printed to standard error at exit and is available to
 // scripts while running via "tkstats trace".
+//
+// With -spans, one request in 64 is followed end to end by the span
+// layer (internal/obs/trace) and the retained spans are written to the
+// named file as Chrome trace-event JSON at exit — load it in
+// chrome://tracing or Perfetto. Scripts can export mid-run with
+// "tkstats spans ?file?".
 //
 // The special command "screenshot file.ppm ?window?" is added so headless
 // runs can capture what would be on screen.
@@ -32,10 +38,11 @@ import (
 
 func main() {
 	var (
-		script  string
-		appName = "wish"
-		display = os.Getenv("WISH_DISPLAY")
-		trace   bool
+		script   string
+		appName  = "wish"
+		display  = os.Getenv("WISH_DISPLAY")
+		trace    bool
+		spanFile string
 	)
 	args := os.Args[1:]
 	var scriptArgs []string
@@ -64,6 +71,12 @@ func main() {
 			display = args[i]
 		case "-trace":
 			trace = true
+		case "-spans":
+			if i+1 >= len(args) {
+				fatal("missing file name after -spans")
+			}
+			i++
+			spanFile = args[i]
 		default:
 			if script == "" && !strings.HasPrefix(args[i], "-") {
 				// "wish script args..." shorthand.
@@ -82,11 +95,29 @@ func main() {
 		}
 	}
 
-	app, err := core.NewApp(core.Options{Name: appName, Display: display, Trace: trace})
+	spanInterval := 0
+	if spanFile != "" {
+		spanInterval = 64
+	}
+	app, err := core.NewApp(core.Options{Name: appName, Display: display, Trace: trace, SpanInterval: spanInterval})
 	if err != nil {
 		fatal("%v", err)
 	}
 	defer app.Close()
+	if spanFile != "" {
+		// Runs before the deferred Close (LIFO): dump the retained spans
+		// while the tracer is still being fed only by this process.
+		defer func() {
+			data, err := app.Spans.ChromeJSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wish: span export: %v\n", err)
+				return
+			}
+			if err := os.WriteFile(spanFile, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "wish: span export: %v\n", err)
+			}
+		}()
+	}
 	if trace {
 		// Runs before the deferred Close above (LIFO), so the
 		// connection is still coherent while dumping.

@@ -6,13 +6,20 @@
 //
 // Usage:
 //
-//	xsimd [-addr 127.0.0.1:6001] [-width 1024] [-height 768] [-latency-us N] [-latency-model request|segment] [-fault spec]
+//	xsimd [-addr 127.0.0.1:6001] [-width 1024] [-height 768] [-latency-us N] [-latency-model request|segment] [-fault spec] [-stats-addr addr] [-span-interval N]
 //
 // -fault wraps every accepted connection in the internal/fault chaos
 // layer, injecting the faults the comma-separated key=value spec
 // describes (see docs/fault-injection.md), e.g.
 //
 //	xsimd -fault seed=42,jitter=2ms,shortwrite=0.3
+//
+// -stats-addr serves the live introspection endpoints (/metrics, /spans,
+// /slo, /debug/pprof/ — see docs/observability.md) on a second TCP
+// address while the server runs. -span-interval samples one request in
+// N per connection into the span tracer those endpoints export; clients
+// started with the same interval (wish -spans) record the matching
+// client-side spans.
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs/statshttp"
+	"repro/internal/obs/trace"
 	"repro/internal/xserver"
 )
 
@@ -36,6 +45,10 @@ func main() {
 		`how simulated latency is charged: "request" (per request) or "segment" (per wire read, rewarding pipelined clients)`)
 	faultSpec := flag.String("fault", "",
 		`fault-injection scenario applied to every connection, e.g. "seed=42,jitter=2ms,shortwrite=0.3" (docs/fault-injection.md)`)
+	statsAddr := flag.String("stats-addr", "",
+		"TCP address for the live introspection endpoints (/metrics, /spans, /slo, /debug/pprof/); empty disables")
+	spanInterval := flag.Int("span-interval", trace.DefaultInterval,
+		"sample 1 request in N into the span tracer served at -stats-addr (0 disables sampling)")
 	flag.Parse()
 
 	var scenario fault.Scenario
@@ -73,6 +86,22 @@ func main() {
 	fmt.Printf("xsimd: simulated display server on %s (%dx%d)\n", l.Addr(), *width, *height)
 	if scenario.Active() {
 		fmt.Printf("xsimd: injecting faults on every connection: %s\n", *faultSpec)
+	}
+
+	if *statsAddr != "" {
+		// The span tracer records the server half of sampled requests;
+		// the /spans and /slo endpoints export it alongside the metrics.
+		spans := trace.New(8192, *spanInterval)
+		srv.SetTracer(spans)
+		_, bound, err := statshttp.Serve(*statsAddr, statshttp.Options{
+			Registry: srv.Metrics(),
+			Tracer:   spans,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsimd: stats endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("xsimd: introspection endpoints on http://%s/ (metrics, spans, slo, debug/pprof)\n", bound)
 	}
 
 	// Accept loop: each connection is served directly, or through the

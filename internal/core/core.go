@@ -12,6 +12,7 @@ import (
 	"net"
 	"os"
 
+	"repro/internal/obs/trace"
 	"repro/internal/obs/xtrace"
 	"repro/internal/tcl"
 	"repro/internal/tk"
@@ -25,6 +26,11 @@ import (
 // retains: enough for a whole interactive session's recent history
 // without unbounded growth.
 const traceDepth = 4096
+
+// spanDepth is how many request spans a -spans tracer retains. A
+// sampled request produces a handful of spans, so this covers the last
+// ~2000 sampled requests.
+const spanDepth = 8192
 
 // Options configures NewApp.
 type Options struct {
@@ -41,6 +47,14 @@ type Options struct {
 	// -trace); the trace is readable via App.Tracer and the tkstats
 	// Tcl command.
 	Trace bool
+	// SpanInterval, when positive, enables request-span tracing (wish
+	// -spans): one request in SpanInterval is sampled into App.Spans.
+	// With a private server the same tracer is attached server-side, so
+	// each sampled request carries both its client and server spans;
+	// against a shared display only the client half is recorded (start
+	// the server with its own tracer — xsimd -span-interval — for the
+	// other half).
+	SpanInterval int
 }
 
 // App is a complete Tk application plus the infrastructure it runs on.
@@ -83,6 +97,13 @@ func NewApp(opts Options) (*App, error) {
 		tracer = xtrace.New(traceDepth)
 		conn = tracer.Tap(conn)
 	}
+	var spans *trace.Tracer
+	if opts.SpanInterval > 0 {
+		spans = trace.New(spanDepth, opts.SpanInterval)
+		if srv != nil {
+			srv.SetTracer(spans)
+		}
+	}
 	d, err := xclient.Open(conn)
 	if err != nil {
 		if srv != nil {
@@ -90,7 +111,10 @@ func NewApp(opts Options) (*App, error) {
 		}
 		return nil, err
 	}
-	tkApp, err := tk.NewApp(d, tk.Config{Name: opts.Name, Interp: opts.Interp, Trace: tracer})
+	if spans != nil {
+		d.SetTracer(spans)
+	}
+	tkApp, err := tk.NewApp(d, tk.Config{Name: opts.Name, Interp: opts.Interp, Trace: tracer, Spans: spans})
 	if err != nil {
 		d.Close()
 		if srv != nil {

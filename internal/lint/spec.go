@@ -201,8 +201,9 @@ func (r *Registry) addTkSpecs() {
 		"variable": argsN(1, 1), "window": argsN(1, 1),
 	}}
 	s["tkstats"] = &spec{min: 1, max: 2, subs: map[string]*spec{
-		"counters": argsN(0, 1), "histogram": argsN(1, 1),
-		"trace": argsN(0, 1), "reset": argsN(0, 0),
+		"counters": argsN(0, 1), "gauges": argsN(0, 1),
+		"histogram": argsN(1, 1), "trace": argsN(0, 1),
+		"spans": argsN(0, 1), "reset": argsN(0, 0),
 	}}
 	s["pack"] = &spec{min: 1, max: -1, subs: map[string]*spec{
 		"append": argsN(2, -1), "before": argsN(2, -1), "after": argsN(2, -1),

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Goroutine-scoped wait attribution. The lockwait.* histograms say how
+// much each subsystem mutex is contended in aggregate; they cannot say
+// which request paid a given wait. A dispatch path that wants its lock
+// waits attributed to it (the span tracer's sampled server dispatches,
+// docs/observability.md "Request spans") registers a collector for its
+// goroutine; while registered, every contended TimedMutex/TimedRWMutex
+// acquisition on that goroutine reports its wait to the collector as
+// well as to the histogram.
+//
+// The mechanism is pay-for-use: with no collector registered anywhere,
+// the contended lock path performs a single atomic load and nothing
+// else, and the uncontended TryLock fast path is untouched.
+
+var (
+	// waitCollectors maps goroutine id → collector. Entries exist only
+	// between SetWaitCollector and its returned remove func, i.e. for
+	// the duration of one sampled dispatch.
+	waitCollectors sync.Map // uint64 → func(*Histogram, int64)
+
+	// waitCollectorN counts live collectors, so noteWait can skip the
+	// map lookup (and the goroutine-id derivation) entirely when no one
+	// is listening.
+	waitCollectorN atomic.Int32
+)
+
+// SetWaitCollector registers fn to receive every contended lock wait on
+// the calling goroutine: the instrumented histogram identifying the
+// mutex (nil for untimed mutexes) and the wait in nanoseconds. It
+// returns a remove function that must be called on the same goroutine
+// when the attributed section ends. Collectors nest per goroutine only
+// in the sense that a later registration replaces the earlier one.
+func SetWaitCollector(fn func(h *Histogram, waitNs int64)) (remove func()) {
+	id := goid()
+	waitCollectors.Store(id, fn)
+	waitCollectorN.Add(1)
+	return func() {
+		waitCollectors.Delete(id)
+		waitCollectorN.Add(-1)
+	}
+}
+
+// noteWait reports one contended acquisition's wait to the calling
+// goroutine's collector, if one is registered.
+func noteWait(h *Histogram, waitNs int64) {
+	if waitCollectorN.Load() == 0 {
+		return
+	}
+	if fn, ok := waitCollectors.Load(goid()); ok {
+		fn.(func(*Histogram, int64))(h, waitNs)
+	}
+}
+
+// goid returns the calling goroutine's id, parsed from the runtime
+// stack header ("goroutine N [running]:"). Costs on the order of a
+// microsecond; called only when a collector is being registered, or on
+// a contended lock acquisition while at least one collector is live —
+// both already microsecond-scale paths.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for i := prefix; i < n && buf[i] >= '0' && buf[i] <= '9'; i++ {
+		id = id*10 + uint64(buf[i]-'0')
+	}
+	return id
+}

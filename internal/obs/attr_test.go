@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWaitCollectorAttributesContention: a goroutine that registered a
+// collector sees its own contended acquisitions, identified by the
+// mutex's histogram.
+func TestWaitCollectorAttributesContention(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lockwait.tree")
+	var mu TimedMutex
+	mu.Instrument(h)
+
+	mu.Lock() // force the worker onto the contended slow path
+	got := make(chan int64, 4)
+	started := make(chan struct{})
+	go func() {
+		remove := SetWaitCollector(func(hh *Histogram, ns int64) {
+			if hh == h {
+				got <- ns
+			}
+		})
+		defer remove()
+		close(started)
+		mu.Lock() // TryLock fails (main holds it), so noteWait fires
+		mu.Unlock()
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	mu.Unlock()
+
+	select {
+	case ns := <-got:
+		if ns <= 0 {
+			t.Fatalf("collected wait = %dns, want > 0 for a held lock", ns)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("collector never saw the contended wait")
+	}
+}
+
+// TestWaitCollectorUntimedMutex: contended acquisitions of a mutex with
+// no histogram still reach the collector, with a nil histogram (the
+// caller labels them "other").
+func TestWaitCollectorUntimedMutex(t *testing.T) {
+	var mu TimedMutex // no Instrument
+	mu.Lock()
+	got := make(chan *Histogram, 1)
+	started := make(chan struct{})
+	go func() {
+		remove := SetWaitCollector(func(hh *Histogram, ns int64) {
+			select {
+			case got <- hh:
+			default:
+			}
+		})
+		defer remove()
+		close(started)
+		mu.Lock()
+		mu.Unlock()
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	mu.Unlock()
+	select {
+	case hh := <-got:
+		if hh != nil {
+			t.Fatalf("untimed mutex reported histogram %p, want nil", hh)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("collector never saw the untimed contended wait")
+	}
+}
+
+// TestWaitCollectorScopedToGoroutine: contention on a goroutine with no
+// collector is not attributed to another goroutine's collector, and a
+// removed collector stops receiving.
+func TestWaitCollectorScopedToGoroutine(t *testing.T) {
+	var mu TimedMutex
+	foreign := make(chan struct{}, 16)
+	remove := SetWaitCollector(func(hh *Histogram, ns int64) {
+		foreign <- struct{}{}
+	})
+
+	mu.Lock()
+	done := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(started)
+		mu.Lock() // contended, but this goroutine has no collector
+		mu.Unlock()
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	mu.Unlock()
+	<-done
+	select {
+	case <-foreign:
+		t.Fatal("another goroutine's wait was attributed to this collector")
+	default:
+	}
+
+	remove()
+	// After removal, this goroutine's own contention is silent too.
+	mu.Lock()
+	go func() { time.Sleep(5 * time.Millisecond); mu.Unlock() }()
+	// Contend from a helper holding the lock: reacquire here.
+	mu.Lock()
+	mu.Unlock()
+	select {
+	case <-foreign:
+		t.Fatal("removed collector still receiving")
+	default:
+	}
+}

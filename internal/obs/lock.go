@@ -41,9 +41,11 @@ func (m *TimedMutex) Lock() {
 	}
 	start := time.Now()
 	m.mu.Lock()
+	wait := int64(time.Since(start))
 	if m.hist != nil {
-		m.hist.Observe(time.Since(start))
+		m.hist.ObserveNs(wait)
 	}
+	noteWait(m.hist, wait)
 }
 
 // Unlock releases the mutex.
@@ -69,9 +71,11 @@ func (m *TimedRWMutex) Lock() {
 	}
 	start := time.Now()
 	m.mu.Lock()
+	wait := int64(time.Since(start))
 	if m.hist != nil {
-		m.hist.Observe(time.Since(start))
+		m.hist.ObserveNs(wait)
 	}
+	noteWait(m.hist, wait)
 }
 
 // Unlock releases the write lock.
@@ -87,9 +91,11 @@ func (m *TimedRWMutex) RLock() {
 	}
 	start := time.Now()
 	m.mu.RLock()
+	wait := int64(time.Since(start))
 	if m.hist != nil {
-		m.hist.Observe(time.Since(start))
+		m.hist.ObserveNs(wait)
 	}
+	noteWait(m.hist, wait)
 }
 
 // RUnlock releases the read lock.

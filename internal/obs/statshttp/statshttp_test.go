@@ -1,0 +1,152 @@
+package statshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+)
+
+func testMux(t *testing.T) (*http.ServeMux, *obs.Registry, *trace.Tracer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter("requests").Add(42)
+	reg.Counter("requests.Ping").Add(40)
+	reg.Gauge("inflight").Set(3)
+	for i := 1; i <= 10; i++ {
+		reg.Histogram("dispatch").ObserveNs(int64(i * 1000))
+		reg.Histogram("lockwait.tree").ObserveNs(int64(i))
+	}
+	tr := trace.New(16, 1)
+	tr.Record(trace.Span{Seq: 4, Name: "client.rtt", Side: "client", Op: "Ping", Start: 100, Dur: 10_000})
+	tr.Record(trace.Span{Seq: 4, Name: "server.dispatch", Side: "server", Op: "Ping", Start: 2_100, Dur: 4_000})
+	return NewMux(Options{Registry: reg, Tracer: tr}), reg, tr
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) (int, string, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, rec.Header().Get("Content-Type"), string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	mux, _, _ := testMux(t)
+	code, ctype, body := get(t, mux, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("content-type %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE requests counter\nrequests 42",
+		"requests_Ping 40",
+		"# TYPE inflight gauge\ninflight 3",
+		"# TYPE dispatch summary",
+		`dispatch{quantile="0.99"}`,
+		"dispatch_count 10",
+		"lockwait_tree_count 10",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestSpansEndpoint(t *testing.T) {
+	mux, _, _ := testMux(t)
+	code, ctype, body := get(t, mux, "/spans")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("status %d content-type %q", code, ctype)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("spans output does not parse: %v", err)
+	}
+	x := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			x++
+		}
+	}
+	if x != 2 {
+		t.Fatalf("got %d X events, want 2", x)
+	}
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	mux, reg, _ := testMux(t)
+	code, ctype, body := get(t, mux, "/slo")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("status %d content-type %q", code, ctype)
+	}
+	var report struct {
+		Dispatch *struct {
+			Count uint64 `json:"count"`
+		} `json:"dispatch"`
+		Lockwait map[string]any `json:"lockwait"`
+		Budget   struct {
+			Requests uint64 `json:"requests"`
+		} `json:"error_budget"`
+		Spans *struct {
+			Pairs int `json:"sampled_round_trips"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &report); err != nil {
+		t.Fatalf("slo output does not parse: %v", err)
+	}
+	if report.Dispatch == nil || report.Dispatch.Count != 10 {
+		t.Fatalf("dispatch section wrong: %s", body)
+	}
+	if _, ok := report.Lockwait["tree"]; !ok {
+		t.Fatalf("lockwait section wrong: %s", body)
+	}
+	if report.Budget.Requests != 42 {
+		t.Fatalf("error budget requests = %d, want 42", report.Budget.Requests)
+	}
+	if report.Spans == nil || report.Spans.Pairs != 1 {
+		t.Fatalf("span rollup wrong: %s", body)
+	}
+	// Each report served is itself counted.
+	if got := reg.Counters()["slo.reports"]; got != 1 {
+		t.Fatalf("slo.reports = %d after one request", got)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	mux, _, _ := testMux(t)
+	code, _, body := get(t, mux, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d body %q…", code, body[:min(len(body), 80)])
+	}
+}
+
+func TestServeBindsAndServes(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("requests").Inc()
+	srv, addr, err := Serve("127.0.0.1:0", Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "requests 1") {
+		t.Fatalf("live endpoint: status %d body %q", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Chrome trace-event export: the retained spans rendered in the JSON
+// format chrome://tracing and Perfetto load directly. Each side
+// (client / server / tk) is a process row; each sampled request's
+// sequence number is a thread row, so one request's journey through
+// every layer reads as one horizontal lane across the processes.
+
+// chromeEvent is one trace-event object ("X" complete events plus "M"
+// process-name metadata).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the object form of the trace-event file.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// sidePids fixes the process-row order in the viewer: the toolkit on
+// top, then the client library, then the server.
+var sidePids = map[string]int{"tk": 1, "client": 2, "server": 3}
+
+// ChromeJSON renders the retained spans as a Chrome trace-event JSON
+// document. Timestamps are rebased to the earliest retained span so
+// the viewer opens at zero.
+func (t *Tracer) ChromeJSON() ([]byte, error) {
+	return ChromeJSON(t.Spans())
+}
+
+// ChromeJSON renders any span slice (e.g. spans merged from a client
+// and a server tracer) as a Chrome trace-event JSON document.
+func ChromeJSON(spans []Span) ([]byte, error) {
+	var base int64
+	for i, s := range spans {
+		if i == 0 || s.Start < base {
+			base = s.Start
+		}
+	}
+	events := make([]chromeEvent, 0, len(spans)+len(sidePids))
+	sides := make(map[string]bool)
+	for _, s := range spans {
+		sides[s.Side] = true
+	}
+	sideNames := make([]string, 0, len(sides))
+	for side := range sides {
+		sideNames = append(sideNames, side)
+	}
+	sort.Strings(sideNames)
+	for _, side := range sideNames {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pidFor(side),
+			Args: map[string]any{"name": side},
+		})
+	}
+	for _, s := range spans {
+		name := s.Name
+		if s.Op != "" {
+			name += " " + s.Op
+		}
+		args := map[string]any{"seq": s.Seq}
+		for _, a := range s.Args {
+			args[a.Key] = a.Val
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Cat:  s.Side,
+			Ph:   "X",
+			Ts:   float64(s.Start-base) / 1e3,
+			Dur:  float64(s.Dur) / 1e3,
+			Pid:  pidFor(s.Side),
+			Tid:  s.Seq,
+			Args: args,
+		})
+	}
+	return json.Marshal(chromeTrace{TraceEvents: events})
+}
+
+func pidFor(side string) int {
+	if pid, ok := sidePids[side]; ok {
+		return pid
+	}
+	return 9
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSampled(t *testing.T) {
+	tr := New(16, 4)
+	want := map[uint64]bool{1: false, 2: false, 3: false, 4: true, 7: false, 8: true, 100: true}
+	for seq, w := range want {
+		if got := tr.Sampled(seq); got != w {
+			t.Errorf("Sampled(%d) = %v, want %v at interval 4", seq, got, w)
+		}
+	}
+	tr.SetInterval(0)
+	if tr.Sampled(4) {
+		t.Error("Sampled(4) true with sampling disabled")
+	}
+	if tr.Interval() != 0 {
+		t.Errorf("Interval() = %d after SetInterval(0)", tr.Interval())
+	}
+	tr.SetInterval(-5)
+	if tr.Sampled(0) || tr.Sampled(10) {
+		t.Error("negative interval did not disable sampling")
+	}
+}
+
+func TestRecordRingWraps(t *testing.T) {
+	tr := New(4, 1)
+	for i := 1; i <= 7; i++ {
+		tr.Record(Span{Seq: uint64(i), Name: "s", Side: "client", Start: int64(i)})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", tr.Len())
+	}
+	if tr.Total() != 7 || tr.Dropped() != 3 {
+		t.Fatalf("Total/Dropped = %d/%d, want 7/3", tr.Total(), tr.Dropped())
+	}
+	spans := tr.Spans()
+	for i, s := range spans {
+		if want := uint64(i + 4); s.Seq != want {
+			t.Errorf("spans[%d].Seq = %d, want %d (oldest-first after wrap)", i, s.Seq, want)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset did not clear the ring")
+	}
+	if tr.Interval() != 1 {
+		t.Error("Reset cleared the sampling interval")
+	}
+}
+
+func TestNewClampsCapacity(t *testing.T) {
+	tr := New(0, 1)
+	tr.Record(Span{Seq: 1})
+	tr.Record(Span{Seq: 2})
+	if tr.Len() != 1 || tr.Spans()[0].Seq != 2 {
+		t.Fatalf("capacity-0 tracer should retain exactly the newest span, got %v", tr.Spans())
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := New(64, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Record(Span{Seq: uint64(g*1000 + i), Name: "s", Side: "server"})
+				tr.Spans()
+				tr.Sampled(uint64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Total() != 1600 {
+		t.Fatalf("Total = %d, want 1600", tr.Total())
+	}
+	if tr.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", tr.Len())
+	}
+}
+
+func TestSpanHelpers(t *testing.T) {
+	s := Span{Start: 100, Dur: 50, Args: []Arg{{Key: "bytes", Val: 7}}}
+	if s.End() != 150 {
+		t.Errorf("End = %d, want 150", s.End())
+	}
+	if s.Arg("bytes") != 7 || s.Arg("missing") != 0 {
+		t.Error("Arg lookup wrong")
+	}
+}
+
+func TestChromeJSON(t *testing.T) {
+	tr := New(16, 1)
+	tr.Record(Span{Seq: 8, Name: "client.rtt", Side: "client", Op: "Ping", Start: 5_000, Dur: 3_000})
+	tr.Record(Span{Seq: 8, Name: "server.dispatch", Side: "server", Op: "Ping", Start: 6_000, Dur: 1_000,
+		Args: []Arg{{Key: "lockwait.tree", Val: 200}}})
+	data, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output does not parse: %v", err)
+	}
+	var x, m int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			m++
+		case "X":
+			x++
+			if ev.Tid != 8 {
+				t.Errorf("tid = %d, want the sequence number 8", ev.Tid)
+			}
+			// Timestamps are rebased to the earliest span and in µs.
+			if ev.Name == "client.rtt Ping" && (ev.Ts != 0 || ev.Dur != 3) {
+				t.Errorf("client event ts/dur = %v/%v, want 0/3 µs", ev.Ts, ev.Dur)
+			}
+			if ev.Name == "server.dispatch Ping" {
+				if ev.Ts != 1 {
+					t.Errorf("server event ts = %v, want 1 µs after rebase", ev.Ts)
+				}
+				if ev.Args["lockwait.tree"] != float64(200) {
+					t.Errorf("lock-wait arg lost: %v", ev.Args)
+				}
+			}
+		}
+	}
+	if x != 2 || m != 2 {
+		t.Fatalf("got %d X and %d M events, want 2 and 2", x, m)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/obs/trace"
 	"repro/internal/xproto"
 )
 
@@ -288,6 +289,24 @@ func (app *App) DispatchEvent(ev *xproto.Event) {
 	m.Counter("tk.events").Inc()
 	begin := time.Now()
 	defer func() { m.Histogram("tk.dispatch").Observe(time.Since(begin)) }()
+	if tr := app.Spans; tr != nil {
+		// Events have no protocol sequence number on this side, so the
+		// toolkit samples on its own dispatch counter; the span's start
+		// time places it on the shared timeline next to whatever requests
+		// the handlers issue.
+		app.evSpanSeq++
+		if tr.Sampled(app.evSpanSeq) {
+			seq := app.evSpanSeq
+			op := xproto.EventTypeName(int(ev.Type))
+			defer func() {
+				tr.Record(trace.Span{
+					Seq: seq, Name: "tk.event", Side: "tk", Op: op,
+					Start: begin.UnixNano(), Dur: int64(time.Since(begin)),
+				})
+				m.Counter("trace.spans").Inc()
+			}()
+		}
+	}
 	w, ok := app.xidMap[ev.Window]
 	if !ok {
 		// Events for the comm window drive the send protocol.

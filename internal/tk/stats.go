@@ -2,6 +2,7 @@ package tk
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -10,14 +11,16 @@ import (
 )
 
 // The tkstats command exposes the observability layer (internal/obs) to
-// Tcl scripts: protocol and toolkit counters, latency histograms, and —
-// when the application was started with a wire tracer (wish -trace) —
-// the decoded protocol trace. It is how the §3.3 cache experiments read
-// per-opcode traffic from inside the application being measured.
+// Tcl scripts: protocol and toolkit counters and gauges, latency
+// histograms, the decoded protocol trace when the application was
+// started with a wire tracer (wish -trace), and the sampled request
+// spans as Chrome trace-event JSON when started with a span tracer
+// (wish -spans). It is how the §3.3 cache experiments read per-opcode
+// traffic from inside the application being measured.
 
 func (app *App) cmdTkstats(in *tcl.Interp, args []string) (string, error) {
 	if len(args) < 2 {
-		return "", fmt.Errorf(`wrong # args: should be "tkstats counters|histogram|trace|reset ?arg?"`)
+		return "", fmt.Errorf(`wrong # args: should be "tkstats counters|gauges|histogram|trace|spans|reset ?arg?"`)
 	}
 	m := app.Metrics()
 	switch args[1] {
@@ -35,6 +38,24 @@ func (app *App) cmdTkstats(in *tcl.Interp, args []string) (string, error) {
 				lines = append(lines, name+" "+strconv.FormatUint(v, 10))
 			}
 		}
+		for name, v := range m.Gauges() {
+			if tcl.GlobMatch(pattern, name) {
+				lines = append(lines, name+" "+strconv.FormatInt(v, 10))
+			}
+		}
+		sort.Strings(lines)
+		return strings.Join(lines, "\n"), nil
+	case "gauges":
+		// "counters" has always folded gauges in (kept for script
+		// compatibility); this lists gauges alone.
+		if len(args) > 3 {
+			return "", fmt.Errorf(`wrong # args: should be "tkstats gauges ?pattern?"`)
+		}
+		pattern := "*"
+		if len(args) == 3 {
+			pattern = args[2]
+		}
+		lines := make([]string, 0, 16)
 		for name, v := range m.Gauges() {
 			if tcl.GlobMatch(pattern, name) {
 				lines = append(lines, name+" "+strconv.FormatInt(v, 10))
@@ -81,6 +102,24 @@ func (app *App) cmdTkstats(in *tcl.Interp, args []string) (string, error) {
 			n = v
 		}
 		return strings.Join(app.Tracer.Dump(n), "\n"), nil
+	case "spans":
+		if len(args) > 3 {
+			return "", fmt.Errorf(`wrong # args: should be "tkstats spans ?file?"`)
+		}
+		if app.Spans == nil {
+			return "", fmt.Errorf("no span tracer attached: start with wish -spans")
+		}
+		data, err := app.Spans.ChromeJSON()
+		if err != nil {
+			return "", fmt.Errorf("span export failed: %v", err)
+		}
+		if len(args) == 3 {
+			if err := os.WriteFile(args[2], data, 0o644); err != nil {
+				return "", fmt.Errorf("span export failed: %v", err)
+			}
+			return "", nil
+		}
+		return string(data), nil
 	case "reset":
 		if len(args) != 2 {
 			return "", fmt.Errorf(`wrong # args: should be "tkstats reset"`)
@@ -89,7 +128,10 @@ func (app *App) cmdTkstats(in *tcl.Interp, args []string) (string, error) {
 		if app.Tracer != nil {
 			app.Tracer.Reset()
 		}
+		if app.Spans != nil {
+			app.Spans.Reset()
+		}
 		return "", nil
 	}
-	return "", fmt.Errorf("bad option %q: should be counters, histogram, trace, or reset", args[1])
+	return "", fmt.Errorf("bad option %q: should be counters, gauges, histogram, trace, spans, or reset", args[1])
 }

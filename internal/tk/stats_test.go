@@ -1,11 +1,15 @@
 package tk
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/obs/trace"
 	"repro/internal/obs/xtrace"
 	"repro/internal/xclient"
 	"repro/internal/xserver"
@@ -188,5 +192,97 @@ func TestTkstatsTrace(t *testing.T) {
 	plain, _, _ := statsApp(t, false)
 	if _, err := plain.Eval("tkstats trace"); err == nil || !strings.Contains(err.Error(), "-trace") {
 		t.Fatalf("expected no-tracer error, got %v", err)
+	}
+}
+
+// TestTkstatsGauges: the gauges subcommand lists gauges alone (counters
+// keeps folding them in, for script compatibility) with the same glob
+// filtering.
+func TestTkstatsGauges(t *testing.T) {
+	app, _, _ := statsApp(t, false)
+	if err := app.Disp.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	out := app.MustEval("tkstats gauges")
+	if !strings.Contains(out, "inflight ") {
+		t.Fatalf("gauges output missing inflight:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "requests") {
+			t.Fatalf("counter leaked into gauges output: %q", line)
+		}
+	}
+	// Glob filtering, and an empty match is an empty result, not an error.
+	if out := app.MustEval("tkstats gauges inflight"); !strings.HasPrefix(out, "inflight ") {
+		t.Fatalf("filtered gauges = %q", out)
+	}
+	if out := app.MustEval("tkstats gauges no.such.*"); out != "" {
+		t.Fatalf("non-matching pattern returned %q", out)
+	}
+	// The gauge still appears in counters output (compatibility).
+	if out := app.MustEval("tkstats counters inflight"); !strings.HasPrefix(out, "inflight ") {
+		t.Fatalf("counters no longer folds gauges in: %q", out)
+	}
+}
+
+// spansApp is statsApp plus a request-span tracer on both sides,
+// sampling every request.
+func spansApp(t *testing.T) (*App, *trace.Tracer) {
+	t.Helper()
+	srv := xserver.New(640, 480)
+	t.Cleanup(srv.Close)
+	tr := trace.New(1024, 1)
+	srv.SetTracer(tr)
+	d, err := xclient.Open(srv.ConnectPipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	d.SetTracer(tr)
+	app, err := NewApp(d, Config{Name: "spans", Spans: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(app.Destroy)
+	return app, tr
+}
+
+// TestTkstatsSpans: the spans subcommand exports the ring as Chrome
+// trace-event JSON, inline or to a file; reset clears the ring; without
+// a tracer the error says how to get one.
+func TestTkstatsSpans(t *testing.T) {
+	app, tr := spansApp(t)
+	if err := app.Disp.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	out := app.MustEval("tkstats spans")
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("tkstats spans output does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("tkstats spans exported no events")
+	}
+
+	file := filepath.Join(t.TempDir(), "spans.json")
+	app.MustEval("tkstats spans " + file)
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("file export does not parse: %v", err)
+	}
+
+	app.MustEval("tkstats reset")
+	if tr.Len() != 0 {
+		t.Fatal("reset did not clear the span ring")
+	}
+
+	plain, _, _ := statsApp(t, false)
+	if _, err := plain.Eval("tkstats spans"); err == nil || !strings.Contains(err.Error(), "-spans") {
+		t.Fatalf("expected no-span-tracer error, got %v", err)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/obs/xtrace"
 	"repro/internal/tcl"
 	"repro/internal/xclient"
@@ -129,6 +130,12 @@ type App struct {
 	// command exposes it.
 	Tracer *xtrace.Tracer
 
+	// Spans, when non-nil, is the request-span tracer shared with the
+	// display connection (wish -spans): the toolkit adds tk.event spans
+	// for sampled event dispatches, and "tkstats spans" exports the
+	// whole ring as Chrome trace-event JSON.
+	Spans *trace.Tracer
+
 	// SendTimeout bounds how long Send waits for a peer to answer
 	// before probing whether it is dead (and, if so, pruning it from
 	// the registry). Defaults to DefaultSendTimeout; zero or negative
@@ -159,6 +166,10 @@ type App struct {
 	// receive is guaranteed to return promptly. Touched only on the
 	// event-loop goroutine (DoOneEvent / pumpOnce).
 	evReceived uint64
+	// evSpanSeq numbers dispatched events for span sampling (the tk side
+	// has no protocol sequence, so it samples on its own counter).
+	// Touched only on the event-loop goroutine.
+	evSpanSeq uint64
 	// quitFlag and destroyed are atomic because StartServing pumps the
 	// event loop in a background goroutine: bindings fired there (e.g.
 	// "destroy .", exit, Control-q handlers) set them while the main
@@ -212,6 +223,10 @@ type Config struct {
 	// Trace, if non-nil, is a wire tracer already tapped into the
 	// display connection; it becomes App.Tracer so tkstats can reach it.
 	Trace *xtrace.Tracer
+	// Spans, if non-nil, is a request-span tracer (normally the one also
+	// attached to the display with SetTracer); it becomes App.Spans so
+	// event dispatches are sampled and tkstats can export the ring.
+	Spans *trace.Tracer
 }
 
 // NewApp creates a Tk application over an open display connection,
@@ -232,6 +247,7 @@ func NewApp(d *xclient.Display, cfg Config) (*App, error) {
 		Interp:      in,
 		Disp:        d,
 		Tracer:      cfg.Trace,
+		Spans:       cfg.Spans,
 		SendTimeout: DefaultSendTimeout,
 		windows:     make(map[string]*Window, 32),
 		xidMap:      make(map[xproto.ID]*Window, 32),

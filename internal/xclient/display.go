@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/xproto"
 )
 
@@ -108,9 +109,20 @@ type Display struct {
 	// "errors.async" (protocol errors nobody was waiting on),
 	// "roundtrip.timeout" (Cookie.Wait deadline expiries) and
 	// "protocol.corrupt" (unreadable frame headers, each fatal to the
-	// connection). The pointer is immutable after Open; the registry is
-	// safe for concurrent use.
+	// connection). The span layer adds "trace.sampled" (requests picked
+	// for span recording) and "trace.spans" (spans recorded). The
+	// pointer is immutable after Open; the registry is safe for
+	// concurrent use.
 	metrics *obs.Registry
+
+	// tracer, when set, records spans for sampled reply-bearing requests
+	// (see internal/obs/trace). Atomic so SetTracer may race requests.
+	tracer atomic.Pointer[trace.Tracer]
+
+	// tracedFlush is the sequence number of a sampled request buffered
+	// since the last flush (0 = none), so flushLocked knows to time and
+	// record the wire write that carries it. guarded by mu.
+	tracedFlush uint64
 }
 
 const eventChanSize = 64
@@ -305,7 +317,18 @@ func (d *Display) routeReply(kind byte, payload []byte) {
 	// The histogram records issue→answer wall time, so it includes the
 	// server's simulated IPC latency — the quantity §3.3's caches exist
 	// to avoid paying.
-	d.metrics.Histogram("roundtrip").Observe(time.Since(ck.begin))
+	elapsed := time.Since(ck.begin)
+	d.metrics.Histogram("roundtrip").Observe(elapsed)
+	if ck.traced {
+		if tr := d.tracer.Load(); tr != nil {
+			tr.Record(trace.Span{
+				Seq: ck.seq, Name: "client.rtt", Side: "client",
+				Op:    xproto.OpName(ck.op),
+				Start: ck.begin.UnixNano(), Dur: int64(elapsed),
+			})
+			d.metrics.Counter("trace.spans").Inc()
+		}
+	}
 	if kind == xproto.KindError {
 		ck.resolve(nil, fmt.Errorf("x error: %s", r.String()))
 		return
@@ -407,6 +430,12 @@ func (d *Display) TakeErrors() []string {
 // metric names).
 func (d *Display) Metrics() *obs.Registry { return d.metrics }
 
+// SetTracer attaches (or, with nil, detaches) a span tracer. The tracer
+// samples reply-bearing requests by sequence number; pair it with a
+// server-side tracer at the same interval to get both halves of each
+// sampled request (see internal/obs/trace).
+func (d *Display) SetTracer(t *trace.Tracer) { d.tracer.Store(t) }
+
 // send buffers a request, encoding it directly into the write buffer
 // (no per-request Writer or header allocation). Must be called with
 // d.mu held.
@@ -425,8 +454,24 @@ func (d *Display) flushLocked() error {
 	if len(d.wbuf) == 0 || d.closed {
 		return nil
 	}
-	d.metrics.Histogram("flush.batch").ObserveNs(int64(d.wcount))
+	frames := int64(d.wcount)
+	d.metrics.Histogram("flush.batch").ObserveNs(frames)
 	d.wcount = 0
+	tracedSeq := d.tracedFlush
+	d.tracedFlush = 0
+	if tr := d.tracer.Load(); tr != nil && tracedSeq != 0 {
+		bytes := int64(len(d.wbuf))
+		start := trace.Now()
+		_, err := d.conn.Write(d.wbuf)
+		d.wbuf = d.wbuf[:0]
+		tr.Record(trace.Span{
+			Seq: tracedSeq, Name: "client.flush", Side: "client",
+			Start: start, Dur: trace.Now() - start,
+			Args: []trace.Arg{{Key: "frames", Val: frames}, {Key: "bytes", Val: bytes}},
+		})
+		d.metrics.Counter("trace.spans").Inc()
+		return err
+	}
 	_, err := d.conn.Write(d.wbuf)
 	d.wbuf = d.wbuf[:0]
 	return err
@@ -475,11 +520,19 @@ type Cookie struct {
 	begin time.Time
 	done  chan struct{}
 
+	// traced marks a request sampled for span recording; op is its
+	// opcode, kept so the round-trip span can be labeled at resolve
+	// time. Both are set before the cookie is registered and read-only
+	// afterwards.
+	traced bool
+	op     uint16
+
 	// Set exactly once, before done is closed.
 	payload []byte
 	err     error
 
-	decoded atomic.Bool
+	decoded  atomic.Bool
+	waitSpan atomic.Bool // client.wait span recorded (Wait may be called twice)
 }
 
 // Seq returns the request's protocol sequence number.
@@ -515,6 +568,12 @@ func (d *Display) SendWithReply(req xproto.Request) *Cookie {
 	d.metrics.Counter("roundtrips").Inc()
 	ck := &Cookie{d: d, begin: time.Now(), done: make(chan struct{})}
 	ck.seq = d.send(req)
+	if tr := d.tracer.Load(); tr != nil && tr.Sampled(ck.seq) {
+		ck.traced = true
+		ck.op = req.Op()
+		d.tracedFlush = ck.seq
+		d.metrics.Counter("trace.sampled").Inc()
+	}
 	d.pendMu.Lock()
 	if lost := d.lostErr; lost != nil {
 		d.pendMu.Unlock()
@@ -557,6 +616,10 @@ func (d *Display) failCookie(ck *Cookie, err error) {
 // blocking the caller forever. A reply that arrives after the deadline
 // is reported through the async-error path, not delivered here.
 func (ck *Cookie) Wait(decode func(r *xproto.Reader)) error {
+	var waitStart int64
+	if ck.traced {
+		waitStart = trace.Now()
+	}
 	if err := ck.d.Flush(); err != nil {
 		ck.d.failCookie(ck, err)
 	}
@@ -574,6 +637,16 @@ func (ck *Cookie) Wait(decode func(r *xproto.Reader)) error {
 		}
 	} else {
 		<-ck.done
+	}
+	if ck.traced && ck.waitSpan.CompareAndSwap(false, true) {
+		if tr := ck.d.tracer.Load(); tr != nil {
+			tr.Record(trace.Span{
+				Seq: ck.seq, Name: "client.wait", Side: "client",
+				Op:    xproto.OpName(ck.op),
+				Start: waitStart, Dur: trace.Now() - waitStart,
+			})
+			ck.d.metrics.Counter("trace.spans").Inc()
+		}
 	}
 	if ck.err != nil {
 		return ck.err

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/xproto"
 )
 
@@ -108,9 +109,21 @@ type Server struct {
 	// metrics aggregates across all connections: "requests",
 	// per-opcode "requests.<OpName>" counters, the "dispatch"
 	// service-time histogram, and the per-subsystem "lockwait.*"
-	// histograms. The pointer is immutable after New; the registry
-	// itself is safe for concurrent use.
+	// histograms. The span layer adds "trace.sampled" (dispatches picked
+	// for span recording) and "trace.spans" (spans recorded). The
+	// pointer is immutable after New; the registry itself is safe for
+	// concurrent use.
 	metrics *obs.Registry
+
+	// tracer, when set, records a server.dispatch span (with per-subsystem
+	// lock waits attributed) for sampled requests. Atomic so SetTracer
+	// may race dispatch.
+	tracer atomic.Pointer[trace.Tracer]
+
+	// lockNames maps each lockwait histogram back to its subsystem name,
+	// so a sampled dispatch can label the waits its collector gathered.
+	// Immutable after New.
+	lockNames map[*obs.Histogram]string
 }
 
 // gcontext is a server-side graphics context. Fields are mutated only
@@ -207,6 +220,10 @@ func New(width, height int) *Server {
 		nextAtom:   100,
 	}
 	s.nextIDBase.Store(0x00200000)
+	s.lockNames = make(map[*obs.Histogram]string)
+	for _, n := range []string{"tree", "atoms", "fonts", "colors", "conns", "gcs", "pixmaps", "cursors"} {
+		s.lockNames[s.metrics.Histogram("lockwait."+n)] = n
+	}
 	s.treeMu.Instrument(s.metrics.Histogram("lockwait.tree"))
 	s.atomsMu.Instrument(s.metrics.Histogram("lockwait.atoms"))
 	s.fontsMu.Instrument(s.metrics.Histogram("lockwait.fonts"))
@@ -287,6 +304,13 @@ func (s *Server) Stats() (requests uint64) {
 // service times (decode + handle, excluding simulated latency), and the
 // "lockwait.<subsystem>" histograms of mutex acquisition waits.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// SetTracer attaches (or, with nil, detaches) a span tracer. Give the
+// server and its clients tracers with the same sampling interval and
+// both sides record spans for the same requests — each connection's
+// request sequence numbers advance in lockstep with the client's own
+// numbering (see internal/obs/trace).
+func (s *Server) SetTracer(t *trace.Tracer) { s.tracer.Store(t) }
 
 // now returns the server timestamp in milliseconds.
 func (s *Server) now() uint32 {
@@ -462,8 +486,40 @@ func (s *Server) ServeConn(nc net.Conn) {
 		c.metrics.Counter("requests").Inc()
 		c.metrics.Counter("requests." + name).Inc()
 		begin := time.Now()
-		s.dispatch(c, op, payload)
-		elapsed := time.Since(begin)
+		var elapsed time.Duration
+		if tr := s.tracer.Load(); tr != nil && tr.Sampled(c.seq) {
+			// Sampled dispatch: collect this goroutine's contended lock
+			// waits (dispatch runs synchronously here, so every wait the
+			// collector sees belongs to this request) and attribute them
+			// to the span by subsystem.
+			s.metrics.Counter("trace.sampled").Inc()
+			span := trace.Span{
+				Seq: c.seq, Name: "server.dispatch", Side: "server",
+				Op: name, Start: begin.UnixNano(),
+			}
+			remove := obs.SetWaitCollector(func(h *obs.Histogram, waitNs int64) {
+				key := "lockwait.other" // untimed mutexes (e.g. per-pixmap locks)
+				if n, ok := s.lockNames[h]; ok {
+					key = "lockwait." + n
+				}
+				for i := range span.Args {
+					if span.Args[i].Key == key {
+						span.Args[i].Val += waitNs
+						return
+					}
+				}
+				span.Args = append(span.Args, trace.Arg{Key: key, Val: waitNs})
+			})
+			s.dispatch(c, op, payload)
+			remove()
+			elapsed = time.Since(begin)
+			span.Dur = int64(elapsed)
+			tr.Record(span)
+			s.metrics.Counter("trace.spans").Inc()
+		} else {
+			s.dispatch(c, op, payload)
+			elapsed = time.Since(begin)
+		}
 		s.metrics.Histogram("dispatch").Observe(elapsed)
 		c.metrics.Histogram("dispatch").Observe(elapsed)
 	}

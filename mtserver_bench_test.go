@@ -8,9 +8,7 @@
 package repro_test
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -147,9 +145,7 @@ func BenchmarkMultiClientDispatch(b *testing.B) {
 // serializes the per-segment latency, which is exactly what the old
 // server did.
 func TestEmitMTServerBench(t *testing.T) {
-	if os.Getenv("OBS_BENCH") == "" {
-		t.Skip("set OBS_BENCH=1 to run the workload and emit BENCH_mtserver.json")
-	}
+	requireObsBench(t, "BENCH_mtserver.json")
 
 	const rounds = 40
 	const reps = 3
@@ -264,13 +260,7 @@ func TestEmitMTServerBench(t *testing.T) {
 	for n, v := range throughput {
 		out.ReqPerSec[fmt.Sprintf("clients_%d", n)] = v
 	}
-	buf, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_mtserver.json", append(buf, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	writeBenchJSON(t, "BENCH_mtserver.json", out)
 	t.Logf("wrote BENCH_mtserver.json: %.0f req/s at 1 client, %.0f at 8 (%.2fx), %.1f allocs/pipelined rtt",
 		throughput[1], throughput[8], speedup, allocsPerRTT)
 }

@@ -6,8 +6,6 @@
 package repro_test
 
 import (
-	"encoding/json"
-	"os"
 	"strings"
 	"testing"
 	"time"
@@ -69,9 +67,7 @@ type obsQuantiles struct {
 // metrics path (make check runs it with OBS_BENCH=1): the p50 with 1 ms
 // latency must be at least 1 ms, and must exceed the p50 without.
 func TestEmitObsBench(t *testing.T) {
-	if os.Getenv("OBS_BENCH") == "" {
-		t.Skip("set OBS_BENCH=1 to run the workload and emit BENCH_obs.json")
-	}
+	requireObsBench(t, "BENCH_obs.json")
 	app, err := core.NewApp(core.Options{Name: "obsbench"})
 	if err != nil {
 		t.Fatal(err)
@@ -146,12 +142,6 @@ func TestEmitObsBench(t *testing.T) {
 			"latency_1ms": slow,
 		},
 	}
-	buf, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_obs.json", append(buf, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	writeBenchJSON(t, "BENCH_obs.json", out)
 	t.Logf("wrote BENCH_obs.json: %d opcodes, p50 %dns -> %dns", len(opcodes), fast.P50Ns, slow.P50Ns)
 }

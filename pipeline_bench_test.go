@@ -5,13 +5,12 @@
 package repro_test
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs/trace"
 	"repro/internal/xclient"
 	"repro/internal/xproto"
 	"repro/internal/xserver"
@@ -21,9 +20,22 @@ import (
 // iteration with k requests in flight at once, at 1 ms of simulated IPC
 // latency charged per wire segment. With the cookie model the k=8 and
 // k=64 variants pay the latency once per batch, not once per request.
+// The +spans variant runs with 1-in-64 request-span sampling on both
+// sides; comparing it against the untraced k=64 run shows the tracing
+// overhead (TestEmitSLOBench gates on < 5%).
 func BenchmarkPipelinedRoundTrips(b *testing.B) {
-	for _, k := range []int{1, 8, 64} {
-		b.Run(fmt.Sprintf("inflight=%d", k), func(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		k     int
+		spans bool
+	}{
+		{"inflight=1", 1, false},
+		{"inflight=8", 8, false},
+		{"inflight=64", 64, false},
+		{"inflight=64+spans", 64, true},
+	} {
+		k := bc.k
+		b.Run(bc.name, func(b *testing.B) {
 			app, err := core.NewApp(core.Options{Name: "bench"})
 			if err != nil {
 				b.Fatal(err)
@@ -31,6 +43,11 @@ func BenchmarkPipelinedRoundTrips(b *testing.B) {
 			defer app.Close()
 			app.Server.SetLatency(time.Millisecond)
 			app.Server.SetLatencyModel(xserver.LatencyPerSegment)
+			if bc.spans {
+				tr := trace.New(8192, trace.DefaultInterval)
+				app.Server.SetTracer(tr)
+				app.Disp.SetTracer(tr)
+			}
 			defer func() {
 				app.Server.SetLatency(0)
 				app.Server.SetLatencyModel(xserver.LatencyPerRequest)
@@ -57,27 +74,13 @@ func BenchmarkPipelinedRoundTrips(b *testing.B) {
 	}
 }
 
-// minDuration runs f reps times and returns the fastest run, shielding
-// the emitted numbers from scheduler noise.
-func minDuration(reps int, f func() time.Duration) time.Duration {
-	best := time.Duration(1<<63 - 1)
-	for i := 0; i < reps; i++ {
-		if d := f(); d < best {
-			best = d
-		}
-	}
-	return best
-}
-
 // TestEmitPipelineBench measures serial vs pipelined round trips and
 // cold widget creation under both latency models and writes
 // BENCH_pipeline.json. It doubles as the acceptance check (make check
 // runs it with OBS_BENCH=1): 8 pipelined round trips at 1 ms under the
 // per-segment model must beat 8 serial ones by at least 4×.
 func TestEmitPipelineBench(t *testing.T) {
-	if os.Getenv("OBS_BENCH") == "" {
-		t.Skip("set OBS_BENCH=1 to run the workload and emit BENCH_pipeline.json")
-	}
+	requireObsBench(t, "BENCH_pipeline.json")
 
 	// --- Round trips: 8 serial vs 8 pipelined, 1 ms, both models. ----
 	const flight = 8
@@ -183,13 +186,7 @@ func TestEmitPipelineBench(t *testing.T) {
 		RoundTrips: toNs(rtt),
 		Widgets:    toNs(widgets),
 	}
-	buf, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_pipeline.json", append(buf, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	writeBenchJSON(t, "BENCH_pipeline.json", out)
 	t.Logf("wrote BENCH_pipeline.json: per-segment serial %v, pipelined %v (%.1fx)",
 		rtt["per_segment_serial"], rtt["per_segment_pipelined"],
 		float64(rtt["per_segment_serial"])/float64(rtt["per_segment_pipelined"]))

@@ -1,0 +1,140 @@
+// SLO rollup emitter: runs a mixed workload with request-span tracing
+// enabled, folds the client and server registries plus the sampled
+// spans into the machine-readable report (internal/obs/slo), measures
+// the throughput cost of 1-in-64 span sampling, and writes
+// BENCH_slo.json — the artifact the standing regression harness
+// (ROADMAP item 5) diffs between runs.
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/trace"
+	"repro/internal/xclient"
+	"repro/internal/xproto"
+)
+
+// pingRounds drives iters batches of flight pipelined pings.
+func pingRounds(t *testing.T, d *xclient.Display, flight, iters int) {
+	t.Helper()
+	cookies := make([]*xclient.Cookie, flight)
+	for i := 0; i < iters; i++ {
+		for j := range cookies {
+			cookies[j] = d.SendWithReply(&xproto.PingReq{})
+		}
+		for _, ck := range cookies {
+			if err := ck.Wait(nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestEmitSLOBench is the SLO emitter and the tracing-overhead
+// acceptance check (make check runs it with OBS_BENCH=1): the report
+// must carry dispatch and round-trip quantiles, per-subsystem lock
+// waits, span-derived wire time and a clean error budget, and the
+// pipelined ping throughput with 1-in-64 sampling must stay within 5%
+// of the untraced run.
+func TestEmitSLOBench(t *testing.T) {
+	requireObsBench(t, "BENCH_slo.json")
+
+	// --- Workload under tracing: widgets plus pipelined pings. -------
+	// A dense sampling interval (1 in 8) gives the rollup plenty of
+	// span pairs without needing a huge request count.
+	app, err := core.NewApp(core.Options{Name: "slobench", SpanInterval: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	app.MustEval(`frame .f`)
+	app.MustEval(`pack append . .f {top}`)
+	for _, s := range []string{"a", "b", "c"} {
+		app.MustEval(`button .f.` + s + ` -text ` + s + ` -foreground red`)
+		app.MustEval(`pack append .f .f.` + s + ` {top}`)
+	}
+	app.Update()
+	pingRounds(t, app.Disp, 8, 100)
+
+	report := slo.Build(slo.Sources{
+		Server: app.Server.Metrics(),
+		Client: app.Metrics(),
+		Spans:  app.Spans.Spans(),
+	})
+
+	if report.Dispatch == nil || report.Dispatch.Count == 0 {
+		t.Fatal("report has no dispatch quantiles")
+	}
+	if report.RoundTrip == nil || report.RoundTrip.Count == 0 {
+		t.Fatal("report has no round-trip quantiles")
+	}
+	if len(report.Lockwait) == 0 {
+		t.Fatal("report has no per-subsystem lockwait quantiles")
+	}
+	if report.ErrorBudget.Requests == 0 {
+		t.Fatal("error budget saw no requests")
+	}
+	if report.ErrorBudget.Errors != 0 || report.ErrorBudget.RemainingFraction != 1 {
+		t.Fatalf("clean run spent error budget: %+v", report.ErrorBudget)
+	}
+	if report.Spans == nil || report.Spans.SampledRoundTrips == 0 {
+		t.Fatal("no client.rtt/server.dispatch span pairs in the rollup")
+	}
+	if report.RoundTrip.P99Ns < report.RoundTrip.P50Ns {
+		t.Fatalf("quantiles out of order: p50=%d p99=%d", report.RoundTrip.P50Ns, report.RoundTrip.P99Ns)
+	}
+
+	// --- Tracing overhead: pipelined pings, spans off vs 1-in-64. ----
+	const flight, iters, reps = 64, 60, 6
+	measure := func(traced bool) time.Duration {
+		app, err := core.NewApp(core.Options{Name: "slobench"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer app.Close()
+		if traced {
+			tr := trace.New(8192, trace.DefaultInterval)
+			app.Server.SetTracer(tr)
+			app.Disp.SetTracer(tr)
+		}
+		pingRounds(t, app.Disp, flight, 2) // warm pools and buffers
+		return minDuration(reps, func() time.Duration {
+			start := time.Now()
+			pingRounds(t, app.Disp, flight, iters)
+			return time.Since(start)
+		})
+	}
+	off := measure(false)
+	on := measure(true)
+	ratio := float64(on) / float64(off)
+	if ratio > 1.05 {
+		t.Fatalf("1-in-64 span sampling costs %.1f%% throughput (off %v, on %v): want < 5%%",
+			(ratio-1)*100, off, on)
+	}
+
+	out := struct {
+		Report          slo.Report `json:"slo_report"`
+		SpanInterval    int        `json:"workload_span_interval"`
+		OverheadFlight  int        `json:"overhead_round_trips_in_flight"`
+		OverheadOffNs   int64      `json:"overhead_untraced_ns"`
+		OverheadOnNs    int64      `json:"overhead_traced_1in64_ns"`
+		OverheadRatio   float64    `json:"overhead_ratio"`
+		RetainedSpans   int        `json:"retained_spans"`
+		SampledRequests uint64     `json:"sampled_requests"`
+	}{
+		Report:          report,
+		SpanInterval:    8,
+		OverheadFlight:  flight,
+		OverheadOffNs:   off.Nanoseconds(),
+		OverheadOnNs:    on.Nanoseconds(),
+		OverheadRatio:   ratio,
+		RetainedSpans:   app.Spans.Len(),
+		SampledRequests: app.Metrics().Counters()["trace.sampled"],
+	}
+	writeBenchJSON(t, "BENCH_slo.json", out)
+	t.Logf("wrote BENCH_slo.json: dispatch p99 %dns, rtt p99 %dns, %d span pairs, overhead %.2f%%",
+		report.Dispatch.P99Ns, report.RoundTrip.P99Ns, report.Spans.SampledRoundTrips, (ratio-1)*100)
+}

@@ -1,0 +1,143 @@
+// End-to-end request-span tests: with sampling at 1-in-1, every
+// reply-bearing request must produce a client.rtt span and a matching
+// server.dispatch span under the same sequence number, the server span
+// must nest inside the client round trip, and the merged ring must
+// export as loadable Chrome trace-event JSON.
+package repro_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs/trace"
+)
+
+func TestSpansEndToEnd(t *testing.T) {
+	app, err := core.NewApp(core.Options{Name: "spantest", SpanInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	const syncs = 10
+	for i := 0; i < syncs; i++ {
+		if err := app.Disp.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	spans := app.Spans.Spans()
+	rtt := make(map[uint64]trace.Span)
+	disp := make(map[uint64]trace.Span)
+	for _, s := range spans {
+		switch s.Name {
+		case "client.rtt":
+			rtt[s.Seq] = s
+		case "server.dispatch":
+			disp[s.Seq] = s
+		}
+	}
+	if len(rtt) < syncs {
+		t.Fatalf("got %d client.rtt spans, want ≥ %d", len(rtt), syncs)
+	}
+	paired := 0
+	for seq, r := range rtt {
+		d, ok := disp[seq]
+		if !ok {
+			continue
+		}
+		paired++
+		if d.Dur > r.Dur {
+			t.Errorf("seq %d: server dispatch (%dns) longer than client round trip (%dns)", seq, d.Dur, r.Dur)
+		}
+		if d.Start < r.Start || d.End() > r.End()+int64(1e6) {
+			// Same process, same clock: the dispatch must start after the
+			// request was issued. The tail allowance covers the reply
+			// being timed on the client before the server span is closed.
+			t.Errorf("seq %d: server span [%d,%d] outside client span [%d,%d]",
+				seq, d.Start, d.End(), r.Start, r.End())
+		}
+		if r.Op != d.Op {
+			t.Errorf("seq %d: opcode mismatch client %q vs server %q", seq, r.Op, d.Op)
+		}
+	}
+	if paired < syncs {
+		t.Fatalf("only %d of %d sampled round trips have both halves", paired, syncs)
+	}
+
+	// The NewApp handshake issues reply-bearing requests too; every
+	// sampled request must have been flushed inside a timed client.flush.
+	hasFlush := false
+	for _, s := range spans {
+		if s.Name == "client.flush" {
+			hasFlush = true
+			if s.Arg("frames") <= 0 || s.Arg("bytes") <= 0 {
+				t.Errorf("client.flush span missing frames/bytes args: %+v", s)
+			}
+		}
+	}
+	if !hasFlush {
+		t.Fatal("no client.flush spans recorded")
+	}
+
+	// The export parses and carries one X event per span plus the
+	// process-name metadata rows.
+	data, err := app.Spans.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("ChromeJSON output does not parse: %v", err)
+	}
+	var xEvents, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xEvents++
+		case "M":
+			meta++
+		}
+	}
+	if xEvents != len(spans) {
+		t.Fatalf("export has %d X events for %d spans", xEvents, len(spans))
+	}
+	if meta == 0 {
+		t.Fatal("export has no process_name metadata")
+	}
+
+	// Counters agree with the rings: both sides sampled every request.
+	if got := app.Metrics().Counters()["trace.sampled"]; got == 0 {
+		t.Fatal("client trace.sampled counter is zero")
+	}
+	if got := app.Server.Metrics().Counters()["trace.sampled"]; got == 0 {
+		t.Fatal("server trace.sampled counter is zero")
+	}
+}
+
+// TestSpansDisabledByDefault pins the zero-cost default: no tracer, no
+// spans, no trace counters.
+func TestSpansDisabledByDefault(t *testing.T) {
+	app, err := core.NewApp(core.Options{Name: "spantest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if err := app.Disp.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if app.Spans != nil {
+		t.Fatal("App.Spans set without SpanInterval")
+	}
+	if got := app.Metrics().Counters()["trace.sampled"]; got != 0 {
+		t.Fatalf("trace.sampled = %d without a tracer", got)
+	}
+}
