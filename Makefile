@@ -25,18 +25,21 @@ tkcheck:
 
 bench:
 	$(GO) test -bench=. -benchmem
-	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench|TestEmitMTServerBench|TestEmitSLOBench' -count=1 .
+	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench|TestEmitMTServerBench|TestEmitSLOBench|TestEmitRenderBench' -count=1 .
 
-# bench-smoke runs the metrics-path, pipelining, multi-client and SLO
-# end-to-end checks (emitting BENCH_obs.json, BENCH_pipeline.json,
-# BENCH_mtserver.json and BENCH_slo.json as side effects): roundtrip
-# p50 must track the simulated IPC latency, 8 pipelined round trips
-# must beat 8 serial ones ≥ 4× under the per-segment model, aggregate
-# throughput at 8 concurrent clients must be ≥ 3× the single-client
-# baseline, and span sampling at the default 1-in-64 interval must
-# cost < 5% of pipelined round-trip throughput.
+# bench-smoke runs the metrics-path, pipelining, multi-client, SLO and
+# render end-to-end checks (emitting BENCH_obs.json,
+# BENCH_pipeline.json, BENCH_mtserver.json, BENCH_slo.json and
+# BENCH_render.json as side effects): roundtrip p50 must track the
+# simulated IPC latency, 8 pipelined round trips must beat 8 serial
+# ones ≥ 4× under the per-segment model, aggregate throughput at 8
+# concurrent clients must be ≥ 3× the single-client baseline, span
+# sampling at the default 1-in-64 interval must cost < 5% of pipelined
+# round-trip throughput, the tiled renderer must beat the seed flat
+# renderer ≥ 3× on the fill/scroll/text storm, and painters must keep
+# ≥ half their throughput under concurrent screenshot export.
 bench-smoke:
-	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench|TestEmitMTServerBench|TestEmitSLOBench' -count=1 .
+	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench|TestEmitMTServerBench|TestEmitSLOBench|TestEmitRenderBench' -count=1 .
 
 # chaos runs the fault-injection harness (chaos_test.go): a real widget
 # workload under a bounded seeded scenario matrix, race-gated, asserting

@@ -406,6 +406,13 @@ func (d *Display) FillRectangle(drawable, gc xproto.ID, x, y, w, h int) {
 	}})
 }
 
+// FillRectangles fills a batch of rectangles with one request — the
+// server clips and fills the whole list in a single pass, so many small
+// fills (or one storm of large ones) cost one request's dispatch.
+func (d *Display) FillRectangles(drawable, gc xproto.ID, rects []xproto.Rect) {
+	d.Request(&xproto.PolyFillRectangleReq{Drawable: drawable, Gc: gc, Rects: rects})
+}
+
 // FillPolygon fills a polygon.
 func (d *Display) FillPolygon(drawable, gc xproto.ID, pts []xproto.Point) {
 	d.Request(&xproto.FillPolyReq{Drawable: drawable, Gc: gc, Points: pts})

@@ -1193,6 +1193,18 @@ func (p *ScreenshotReply) Encode(w *Writer) {
 	w.PutBytes(p.Pixels)
 }
 
+// AppendScreenshotPixels encodes a ScreenshotReply's fixed fields and
+// pixel-length prefix, then returns the raw pixelLen-byte pixel area
+// for the caller to pack RGB triples into directly — the same wire
+// bytes Encode produces, without staging the pixels in an intermediate
+// slice. The returned slice is only valid until the next Writer call.
+func AppendScreenshotPixels(w *Writer, width, height uint16, pixelLen int) []byte {
+	w.PutU16(width)
+	w.PutU16(height)
+	w.PutU32(uint32(pixelLen))
+	return w.AppendRaw(pixelLen)
+}
+
 // Decode deserializes the reply.
 func (p *ScreenshotReply) Decode(r *Reader) {
 	p.Width = r.U16()

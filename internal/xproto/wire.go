@@ -102,6 +102,22 @@ func (w *Writer) PutBytes(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
+// AppendRaw grows the payload by n bytes and returns the new region for
+// the caller to fill in place — the zero-intermediate-copy path for
+// bulk payloads (screenshot pixel packing). The contents of the
+// returned slice are unspecified; the caller must overwrite all n
+// bytes. The slice is only valid until the next Writer method call.
+func (w *Writer) AppendRaw(n int) []byte {
+	old := len(w.buf)
+	if cap(w.buf)-old < n {
+		nb := make([]byte, old, old+n)
+		copy(nb, w.buf)
+		w.buf = nb
+	}
+	w.buf = w.buf[:old+n]
+	return w.buf[old:]
+}
+
 // Reader walks a message payload.
 type Reader struct {
 	buf []byte

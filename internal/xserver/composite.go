@@ -1,6 +1,8 @@
 package xserver
 
 import (
+	"time"
+
 	"repro/internal/xproto"
 )
 
@@ -13,25 +15,53 @@ const (
 	frameColor     = 0x000000
 )
 
-// composite recursively paints w and its mapped descendants into dst with
-// w's content origin at (ox, oy). Called with s.treeMu held.
-func (s *Server) composite(dst *image, w *window, ox, oy int) {
+// compOp is one step of a composite plan: a paint operation recorded
+// under treeMu and replayed outside it. Blits reference copy-on-write
+// snapshots of window images, so replaying never reads mutable tree
+// state.
+type compOp struct {
+	kind       compOpKind
+	x, y, w, h int
+	lw         int
+	pixel      uint32
+	src        *image // opBlit: a snapshot, safe to read with no lock
+	text       string
+}
+
+type compOpKind uint8
+
+const (
+	opFill compOpKind = iota
+	opFrame
+	opBlit
+	opText
+)
+
+// compositePlan appends the paint operations for w and its mapped
+// descendants, with w's content origin at (ox, oy), in exactly the
+// order composite used to paint them: border, content, children
+// bottom-to-top, then the window-manager decoration for top-level
+// windows. Called with s.treeMu held; the returned ops own snapshots
+// and copied strings, nothing aliasing the tree.
+func (s *Server) compositePlan(ops []compOp, w *window, ox, oy int) []compOp {
 	// Border.
 	if w.borderWidth > 0 {
 		bw := w.borderWidth
-		dst.fillRect(ox-bw, oy-bw, w.w+2*bw, bw, w.border)
-		dst.fillRect(ox-bw, oy+w.h, w.w+2*bw, bw, w.border)
-		dst.fillRect(ox-bw, oy, bw, w.h, w.border)
-		dst.fillRect(ox+w.w, oy, bw, w.h, w.border)
+		ops = append(ops,
+			compOp{kind: opFill, x: ox - bw, y: oy - bw, w: w.w + 2*bw, h: bw, pixel: w.border},
+			compOp{kind: opFill, x: ox - bw, y: oy + w.h, w: w.w + 2*bw, h: bw, pixel: w.border},
+			compOp{kind: opFill, x: ox - bw, y: oy, w: bw, h: w.h, pixel: w.border},
+			compOp{kind: opFill, x: ox + w.w, y: oy, w: bw, h: w.h, pixel: w.border},
+		)
 	}
 	// Content.
-	dst.copyFrom(w.img, 0, 0, ox, oy, w.w, w.h)
+	ops = append(ops, compOp{kind: opBlit, src: w.img.snapshot(), x: ox, y: oy, w: w.w, h: w.h})
 	// Children bottom-to-top.
 	for _, ch := range w.children {
 		if !ch.mapped {
 			continue
 		}
-		s.composite(dst, ch, ox+ch.x+ch.borderWidth, oy+ch.y+ch.borderWidth)
+		ops = s.compositePlan(ops, ch, ox+ch.x+ch.borderWidth, oy+ch.y+ch.borderWidth)
 	}
 	// Window-manager decoration for top-level windows: a title bar above
 	// the window showing WM_NAME, like twm in Figure 10 of the paper.
@@ -41,45 +71,79 @@ func (s *Server) composite(dst *image, w *window, ox, oy int) {
 			title = string(p.data)
 		}
 		bw := w.borderWidth
-		dst.fillRect(ox-bw, oy-bw-titleBarHeight, w.w+2*bw, titleBarHeight, titleBarColor)
-		dst.drawRect(ox-bw, oy-bw-titleBarHeight, w.w+2*bw, titleBarHeight, 1, frameColor)
-		f := openFont("fixed")
-		f.drawString(dst, ox+4, oy-bw-titleBarHeight+13, title, titleTextColor)
+		ops = append(ops,
+			compOp{kind: opFill, x: ox - bw, y: oy - bw - titleBarHeight, w: w.w + 2*bw, h: titleBarHeight, pixel: titleBarColor},
+			compOp{kind: opFrame, x: ox - bw, y: oy - bw - titleBarHeight, w: w.w + 2*bw, h: titleBarHeight, lw: 1, pixel: frameColor},
+			compOp{kind: opText, x: ox + 4, y: oy - bw - titleBarHeight + 13, text: title, pixel: titleTextColor},
+		)
+	}
+	return ops
+}
+
+// renderPlan replays a composite plan into dst. Needs no lock: fills
+// and frames are pure geometry, blits read immutable snapshots, and the
+// title font is stateless.
+func renderPlan(dst *image, ops []compOp) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case opFill:
+			dst.fillRect(op.x, op.y, op.w, op.h, op.pixel)
+		case opFrame:
+			dst.drawRect(op.x, op.y, op.w, op.h, op.lw, op.pixel)
+		case opBlit:
+			dst.copyFrom(op.src, 0, 0, op.x, op.y, op.w, op.h)
+		case opText:
+			openFont("fixed").drawString(dst, op.x, op.y, op.text, op.pixel)
+		}
 	}
 }
 
 // handleScreenshot renders the composited screen (or one window's
-// subtree) and replies with packed RGB pixels. Takes s.treeMu for the
-// whole render so the tree cannot change mid-composite.
+// subtree) and replies with packed RGB pixels. treeMu is held only for
+// the plan: a walk of the tree recording geometry and copy-on-write
+// tile snapshots (pointer grabs, no pixel copies). The expensive work —
+// composing the plan into a fresh image and packing RGB triples
+// straight into the reply buffer — happens after treeMu is released, so
+// observers taking screenshots never stall painters for longer than the
+// snapshot walk.
 func (s *Server) handleScreenshot(c *conn, q *xproto.ScreenshotReq) {
+	var ops []compOp
+	var shotW, shotH int
 	s.treeMu.Lock()
-	defer s.treeMu.Unlock()
-	var shot *image
 	if q.Window == xproto.None || q.Window == s.Root() {
-		shot = newImage(s.width, s.height)
-		shot.fillRect(0, 0, s.width, s.height, s.root.background)
-		shot.copyFrom(s.root.img, 0, 0, 0, 0, s.width, s.height)
+		shotW, shotH = s.width, s.height
+		ops = append(ops, compOp{kind: opFill, x: 0, y: 0, w: s.width, h: s.height, pixel: s.root.background})
+		ops = append(ops, compOp{kind: opBlit, src: s.root.img.snapshot(), x: 0, y: 0, w: s.width, h: s.height})
 		for _, ch := range s.root.children {
 			if ch.mapped {
-				s.composite(shot, ch, ch.x+ch.borderWidth, ch.y+ch.borderWidth)
+				ops = s.compositePlan(ops, ch, ch.x+ch.borderWidth, ch.y+ch.borderWidth)
 			}
 		}
 	} else {
 		w := s.windows[q.Window]
 		if w == nil {
+			s.treeMu.Unlock()
 			c.protoError("Screenshot: bad window %d", q.Window)
 			return
 		}
 		bw := w.borderWidth
-		shot = newImage(w.w+2*bw, w.h+2*bw+decorationHeight(s, w))
-		s.composite(shot, w, bw, bw+decorationHeight(s, w))
+		dh := decorationHeight(s, w)
+		shotW, shotH = w.w+2*bw, w.h+2*bw+dh
+		ops = s.compositePlan(ops, w, bw, bw+dh)
 	}
-	pixels := make([]byte, 0, shot.w*shot.h*3)
-	for _, px := range shot.pix {
-		pixels = append(pixels, byte(px>>16), byte(px>>8), byte(px))
-	}
-	rep := &xproto.ScreenshotReply{Width: uint16(shot.w), Height: uint16(shot.h), Pixels: pixels}
-	c.reply(func(w *xproto.Writer) { rep.Encode(w) })
+	s.treeMu.Unlock()
+
+	begin := time.Now()
+	shot := newImage(shotW, shotH)
+	renderPlan(shot, ops)
+	c.reply(func(w *xproto.Writer) {
+		// Pack pixels straight into the reply payload: exactly w*h*3
+		// bytes, indexed directly, no intermediate slice.
+		dst := xproto.AppendScreenshotPixels(w, uint16(shot.w), uint16(shot.h), shot.w*shot.h*3)
+		shot.packRGB(dst)
+	})
+	s.render.screenshot.Observe(time.Since(begin))
 }
 
 func decorationHeight(s *Server, w *window) int {

@@ -2,6 +2,7 @@ package xserver
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/xproto"
 )
@@ -155,7 +156,7 @@ func (s *Server) handle(c *conn, req xproto.Request) {
 
 	// --- Per-client resources: sharded tables, shard locks only. -----
 	case *xproto.CreatePixmapReq:
-		p := &pixmap{img: newImage(int(q.Width), int(q.Height))}
+		p := &pixmap{img: newImageM(int(q.Width), int(q.Height), s.render)}
 		p.mu.Instrument(s.metrics.Histogram("lockwait.pixmaps"))
 		s.pixmaps.set(q.Pid, p)
 	case *xproto.FreePixmapReq:
@@ -210,12 +211,15 @@ func (s *Server) handle(c *conn, req xproto.Request) {
 			})
 		}
 	case *xproto.PolyFillRectangleReq:
+		// The dominant opcode by volume: the whole rect list is one
+		// clipped batch pass, large fills fan out across the render
+		// pool, and the batch service time lands in render.fill.
 		if gc, ok := s.gcSnapshot(q.Gc); ok {
+			begin := time.Now()
 			s.withDrawable(q.Drawable, func(im *image) {
-				for _, rc := range q.Rects {
-					im.fillRect(int(rc.X), int(rc.Y), int(rc.W), int(rc.H), gc.foreground)
-				}
+				im.fillRects(q.Rects, gc.foreground)
 			})
+			s.render.fill.Observe(time.Since(begin))
 		}
 	case *xproto.PolyText8Req:
 		s.handleDrawText(c, q.Drawable, q.Gc, q.X, q.Y, q.Text, false)
@@ -310,7 +314,7 @@ func (s *Server) handleCreateWindow(c *conn, q *xproto.CreateWindowReq) {
 		background:  q.Background,
 		border:      q.Border,
 		override:    q.OverrideRedirect,
-		img:         newImage(max(int(q.Width), 1), max(int(q.Height), 1)),
+		img:         newImageM(max(int(q.Width), 1), max(int(q.Height), 1), s.render),
 		masks:       make(map[*conn]uint32),
 		props:       make(map[xproto.Atom]property),
 		owner:       c,
@@ -666,6 +670,8 @@ func (s *Server) handleClearArea(c *conn, q *xproto.ClearAreaReq) {
 // window/pixmap pair takes treeMu before the pixmap lock (the
 // documented order); window-to-window needs treeMu alone.
 func (s *Server) handleCopyArea(c *conn, q *xproto.CopyAreaReq) {
+	begin := time.Now()
+	defer func() { s.render.copyArea.Observe(time.Since(begin)) }()
 	sp, sIsPix := s.pixmaps.get(q.Src)
 	dp, dIsPix := s.pixmaps.get(q.Dst)
 	copyRect := func(dst, src *image) {
@@ -736,12 +742,14 @@ func (s *Server) handleDrawText(c *conn, drawable, gcID xproto.ID, x, y int16, t
 	if f == nil {
 		f = openFont("fixed")
 	}
+	begin := time.Now()
 	drew := s.withDrawable(drawable, func(im *image) {
 		if imageText {
 			im.fillRect(int(x), int(y)-f.ascent, f.textWidth(text), f.ascent+f.descent, gc.background)
 		}
 		f.drawString(im, int(x), int(y), text, gc.foreground)
 	})
+	s.render.text.Observe(time.Since(begin))
 	if !drew {
 		c.protoError("DrawText: bad drawable or gc")
 	}

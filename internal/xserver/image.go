@@ -4,19 +4,125 @@ import "repro/internal/xproto"
 
 // image is a server-side pixel buffer: the backing store of a window or
 // pixmap. Pixels are packed 0x00RRGGBB.
+//
+// Storage is tiled: the pixel area is carved into fixed 64×64 slabs,
+// each row-major within the tile, so every draw primitive works on
+// contiguous spans no longer than a tile row and a screenshot can
+// snapshot the buffer by aliasing slab pointers instead of copying
+// pixels (copy-on-write: see snapshot and writableTile). Each tile
+// carries a version (bumped on every write acquisition), a dirty flag
+// (damage since the last snapshot) and a shared flag (a snapshot
+// aliases the slab; the next writer clones it first).
+//
+// Concurrency: an image has no lock of its own. All tile state — slab
+// pointers, versions, dirty and shared flags — is guarded by the lock
+// of the drawable that owns the image (treeMu for windows, the pixmap's
+// mu for pixmaps), exactly like the pixels were before tiling. A
+// snapshot taken under that lock is immutable afterwards and may be
+// read with no lock at all: writers never mutate a shared slab, they
+// replace it.
 type image struct {
-	w, h int
-	pix  []uint32
+	w, h   int
+	tw, th int    // tiles across / down
+	tiles  []tile // tw*th tiles, row-major
+	m      *renderMetrics
 }
 
-func newImage(w, h int) *image {
+const (
+	tileShift = 6
+	tileSize  = 1 << tileShift // 64×64 pixels, 16KiB per slab
+	tileMask  = tileSize - 1
+)
+
+// tile is one 64×64 slab plus its damage-tracking state.
+type tile struct {
+	px      []uint32 // tileSize*tileSize pixels, row-major within the tile
+	version uint64   // bumped on every write acquisition
+	shared  bool     // a snapshot aliases px: clone before writing
+	dirty   bool     // written since the last snapshot
+}
+
+func newImage(w, h int) *image { return newImageM(w, h, nil) }
+
+// newImageM creates an image reporting damage into m (nil for an
+// unmetered image, e.g. a screenshot compose target or a test buffer).
+func newImageM(w, h int, m *renderMetrics) *image {
 	if w < 1 {
 		w = 1
 	}
 	if h < 1 {
 		h = 1
 	}
-	return &image{w: w, h: h, pix: make([]uint32, w*h)}
+	im := &image{
+		w: w, h: h,
+		tw: (w + tileMask) >> tileShift,
+		th: (h + tileMask) >> tileShift,
+		m:  m,
+	}
+	// One backing allocation for the whole grid; COW clones peel
+	// individual slabs off later as needed.
+	backing := make([]uint32, im.tw*im.th*tileSize*tileSize)
+	im.tiles = make([]tile, im.tw*im.th)
+	for i := range im.tiles {
+		im.tiles[i].px = backing[i*tileSize*tileSize : (i+1)*tileSize*tileSize : (i+1)*tileSize*tileSize]
+	}
+	return im
+}
+
+// writableTile returns tile (tx, ty) ready for writing: a slab shared
+// with a snapshot is cloned first (the snapshot keeps the old pixels),
+// the version is bumped, and a clean tile is marked dirty.
+func (im *image) writableTile(tx, ty int) *tile {
+	t := &im.tiles[ty*im.tw+tx]
+	if t.shared {
+		np := make([]uint32, tileSize*tileSize)
+		copy(np, t.px)
+		t.px = np
+		t.shared = false
+		if im.m != nil {
+			im.m.tilesCOW.Inc()
+		}
+	}
+	t.version++
+	if !t.dirty {
+		t.dirty = true
+		if im.m != nil {
+			im.m.tilesDamaged.Inc()
+		}
+	}
+	return t
+}
+
+// snapshot returns a read-only copy-on-write view of the image: the
+// returned image aliases every slab and marks the original's tiles
+// shared, so the caller may read the snapshot with no lock held while
+// painters keep drawing (their first write to a shared tile clones it).
+// Dirty flags reset here, making the damage counters mean "tiles
+// touched since the last export". Must be called with the owning
+// drawable's lock held; the snapshot itself must never be drawn into.
+func (im *image) snapshot() *image {
+	sn := &image{w: im.w, h: im.h, tw: im.tw, th: im.th, tiles: make([]tile, len(im.tiles))}
+	for i := range im.tiles {
+		t := &im.tiles[i]
+		t.shared = true
+		t.dirty = false
+		sn.tiles[i] = tile{px: t.px, version: t.version}
+	}
+	if im.m != nil {
+		im.m.tilesSnapshot.Add(uint64(len(im.tiles)))
+	}
+	return sn
+}
+
+// damagedTiles counts tiles written since the last snapshot.
+func (im *image) damagedTiles() int {
+	n := 0
+	for i := range im.tiles {
+		if im.tiles[i].dirty {
+			n++
+		}
+	}
+	return n
 }
 
 // resize reallocates the buffer preserving the overlapping region.
@@ -30,37 +136,111 @@ func (im *image) resize(w, h int) {
 	if w == im.w && h == im.h {
 		return
 	}
-	np := make([]uint32, w*h)
-	for y := 0; y < h && y < im.h; y++ {
-		copy(np[y*w:y*w+min(w, im.w)], im.pix[y*im.w:y*im.w+min(w, im.w)])
-	}
-	im.w, im.h = w, h
-	im.pix = np
+	ni := newImageM(w, h, im.m)
+	ni.copyFrom(im, 0, 0, 0, 0, min(w, im.w), min(h, im.h))
+	im.w, im.h = ni.w, ni.h
+	im.tw, im.th = ni.tw, ni.th
+	im.tiles = ni.tiles
 }
 
 func (im *image) set(x, y int, pixel uint32) {
 	if x < 0 || y < 0 || x >= im.w || y >= im.h {
 		return
 	}
-	im.pix[y*im.w+x] = pixel
+	t := im.writableTile(x>>tileShift, y>>tileShift)
+	t.px[(y&tileMask)<<tileShift|(x&tileMask)] = pixel
 }
 
 func (im *image) get(x, y int) uint32 {
 	if x < 0 || y < 0 || x >= im.w || y >= im.h {
 		return 0
 	}
-	return im.pix[y*im.w+x]
+	return im.tiles[(y>>tileShift)*im.tw+(x>>tileShift)].px[(y&tileMask)<<tileShift|(x&tileMask)]
+}
+
+// fillSpan pattern-fills a contiguous span by doubling copies: one
+// store, then log2(n) memmoves, instead of one store per pixel.
+func fillSpan(s []uint32, pixel uint32) {
+	if len(s) == 0 {
+		return
+	}
+	s[0] = pixel
+	for i := 1; i < len(s); i *= 2 {
+		copy(s[i:], s[:i])
+	}
 }
 
 // fillRect fills a clipped rectangle.
 func (im *image) fillRect(x, y, w, h int, pixel uint32) {
 	x0, y0 := max(x, 0), max(y, 0)
 	x1, y1 := min(x+w, im.w), min(y+h, im.h)
-	for yy := y0; yy < y1; yy++ {
-		row := im.pix[yy*im.w : yy*im.w+im.w]
-		for xx := x0; xx < x1; xx++ {
-			row[xx] = pixel
+	if x0 >= x1 || y0 >= y1 {
+		return
+	}
+	im.fillClipped(x0, y0, x1, y1, pixel)
+}
+
+// fillClipped fills [x0,x1)×[y0,y1), already clipped to the image, one
+// tile at a time: the first covered row of each tile is pattern-filled,
+// the rest are row copies of it.
+func (im *image) fillClipped(x0, y0, x1, y1 int, pixel uint32) {
+	for ty := y0 >> tileShift; ty <= (y1-1)>>tileShift; ty++ {
+		im.fillTileRow(ty, x0, y0, x1, y1, pixel)
+	}
+}
+
+// fillTileRow fills the part of clipped rect [x0,x1)×[y0,y1) that lands
+// in tile row ty.
+func (im *image) fillTileRow(ty, x0, y0, x1, y1 int, pixel uint32) {
+	ry0 := max(y0, ty<<tileShift)
+	ry1 := min(y1, (ty+1)<<tileShift)
+	for tx := x0 >> tileShift; tx <= (x1-1)>>tileShift; tx++ {
+		cx0 := max(x0, tx<<tileShift)
+		cx1 := min(x1, (tx+1)<<tileShift)
+		t := im.writableTile(tx, ty)
+		if cx1-cx0 == tileSize {
+			// Full tile width: the covered rows are one contiguous
+			// block (rows are adjacent within a slab), so a single
+			// doubling fill grows to slab-sized memmoves instead of
+			// one 64-pixel copy per row.
+			o := (ry0 & tileMask) << tileShift
+			fillSpan(t.px[o:o+(ry1-ry0)<<tileShift], pixel)
+			continue
 		}
+		base := (ry0&tileMask)<<tileShift | (cx0 & tileMask)
+		first := t.px[base : base+(cx1-cx0)]
+		fillSpan(first, pixel)
+		for yy := ry0 + 1; yy < ry1; yy++ {
+			o := (yy&tileMask)<<tileShift | (cx0 & tileMask)
+			copy(t.px[o:o+(cx1-cx0)], first)
+		}
+	}
+}
+
+// fillRects fills a batch of rectangles (one PolyFillRectangle request)
+// in a single clipped pass, fanning the tile rows of large fills out
+// across the render worker pool. Tile rows of one rectangle are
+// disjoint tile sets, so the workers never touch the same tile; the
+// rectangles themselves run in order, preserving overlap semantics.
+func (im *image) fillRects(rects []xproto.Rect, pixel uint32) {
+	for _, rc := range rects {
+		x, y, w, h := int(rc.X), int(rc.Y), int(rc.W), int(rc.H)
+		x0, y0 := max(x, 0), max(y, 0)
+		x1, y1 := min(x+w, im.w), min(y+h, im.h)
+		if x0 >= x1 || y0 >= y1 {
+			continue
+		}
+		ty0, ty1 := y0>>tileShift, (y1-1)>>tileShift
+		if (x1-x0)*(y1-y0) >= parallelFillMin && ty1 > ty0 && parallelizeFills() {
+			if im.m != nil {
+				im.m.parallelFills.Inc()
+			}
+			parallelTileRows(ty0, ty1, func(ty int) {
+				im.fillTileRow(ty, x0, y0, x1, y1, pixel)
+			})
+			continue
+		}
+		im.fillClipped(x0, y0, x1, y1, pixel)
 	}
 }
 
@@ -76,7 +256,35 @@ func (im *image) drawRect(x, y, w, h, lw int, pixel uint32) {
 }
 
 // drawLine draws a 1-pixel Bresenham line, thickened for lw > 1.
+// Horizontal and vertical lines — the overwhelming majority of what
+// widgets draw (borders, separators, reliefs) — collapse to one
+// row-wise rectangle fill; only true diagonals walk pixel by pixel.
 func (im *image) drawLine(x0, y0, x1, y1, lw int, pixel uint32) {
+	if lw < 1 {
+		lw = 1
+	}
+	r := 0
+	if lw > 1 {
+		r = lw / 2
+	}
+	if y0 == y1 {
+		lx := min(x0, x1)
+		if lw <= 1 {
+			im.fillRect(lx, y0, abs(x1-x0)+1, 1, pixel)
+		} else {
+			im.fillRect(lx-r, y0-r, abs(x1-x0)+lw, lw, pixel)
+		}
+		return
+	}
+	if x0 == x1 {
+		ly := min(y0, y1)
+		if lw <= 1 {
+			im.fillRect(x0, ly, 1, abs(y1-y0)+1, pixel)
+		} else {
+			im.fillRect(x0-r, ly-r, lw, abs(y1-y0)+lw, pixel)
+		}
+		return
+	}
 	dx := abs(x1 - x0)
 	dy := -abs(y1 - y0)
 	sx := 1
@@ -92,7 +300,6 @@ func (im *image) drawLine(x0, y0, x1, y1, lw int, pixel uint32) {
 		if lw <= 1 {
 			im.set(x0, y0, pixel)
 		} else {
-			r := lw / 2
 			im.fillRect(x0-r, y0-r, lw, lw, pixel)
 		}
 		if x0 == x1 && y0 == y1 {
@@ -111,7 +318,8 @@ func (im *image) drawLine(x0, y0, x1, y1, lw int, pixel uint32) {
 }
 
 // fillPoly fills a polygon with the even-odd rule using a scanline
-// algorithm.
+// algorithm. One crossing buffer is hoisted out of the scanline loop
+// and reused (insertion-sorted in place) across rows.
 func (im *image) fillPoly(pts []xproto.Point, pixel uint32) {
 	if len(pts) < 3 {
 		return
@@ -123,9 +331,10 @@ func (im *image) fillPoly(pts []xproto.Point, pixel uint32) {
 	}
 	minY = max(minY, 0)
 	maxY = min(maxY, im.h-1)
+	xs := make([]int, 0, 2*len(pts))
+	n := len(pts)
 	for y := minY; y <= maxY; y++ {
-		var xs []int
-		n := len(pts)
+		xs = xs[:0]
 		for i := 0; i < n; i++ {
 			a, b := pts[i], pts[(i+1)%n]
 			ay, by := int(a.Y), int(b.Y)
@@ -149,22 +358,143 @@ func (im *image) fillPoly(pts []xproto.Point, pixel uint32) {
 	}
 }
 
-// copyFrom copies a rectangle from src.
+// copyFrom copies a rectangle from src. Both rectangles are clipped
+// once up front (shifting the pair in lockstep so the seed's
+// per-pixel "skip out-of-bounds on either side" semantics hold), then
+// rows move segment-wise with copy(). A self-copy whose clipped source
+// and destination do not actually overlap takes the same direct path;
+// a genuinely overlapping self-copy stages each row through a scratch
+// buffer and walks rows in the safe vertical direction — no full-buffer
+// clone in either case.
 func (im *image) copyFrom(src *image, sx, sy, dx, dy, w, h int) {
-	// Copy via an intermediate when src == dst and regions may overlap.
-	if src == im {
-		tmp := newImage(w, h)
-		tmp.copyFrom(&image{w: src.w, h: src.h, pix: append([]uint32(nil), src.pix...)}, sx, sy, 0, 0, w, h)
-		src = tmp
-		sx, sy = 0, 0
+	// Clip once: pull both origins inside their images in lockstep,
+	// then bound the extent by both.
+	if sx < 0 {
+		dx -= sx
+		w += sx
+		sx = 0
+	}
+	if sy < 0 {
+		dy -= sy
+		h += sy
+		sy = 0
+	}
+	if dx < 0 {
+		sx -= dx
+		w += dx
+		dx = 0
+	}
+	if dy < 0 {
+		sy -= dy
+		h += dy
+		dy = 0
+	}
+	w = min(w, src.w-sx, im.w-dx)
+	h = min(h, src.h-sy, im.h-dy)
+	if w <= 0 || h <= 0 {
+		return
+	}
+	if src == im && dx < sx+w && sx < dx+w && dy < sy+h && sy < dy+h {
+		im.copyOverlapping(sx, sy, dx, dy, w, h)
+		return
 	}
 	for yy := 0; yy < h; yy++ {
-		for xx := 0; xx < w; xx++ {
-			px, py := sx+xx, sy+yy
-			if px < 0 || py < 0 || px >= src.w || py >= src.h {
-				continue
+		im.copyRow(src, sx, sy+yy, dx, dy+yy, w)
+	}
+}
+
+// copyRow copies w pixels from src row (sx, sy) to row (dx, dy), in
+// segments bounded by both sides' tile widths. Coordinates are already
+// clipped.
+func (im *image) copyRow(src *image, sx, sy, dx, dy, w int) {
+	srcBase := (sy >> tileShift) * src.tw
+	srcOff := (sy & tileMask) << tileShift
+	dstOff := (dy & tileMask) << tileShift
+	ty := dy >> tileShift
+	for x := 0; x < w; {
+		n := min(w-x, tileSize-((sx+x)&tileMask), tileSize-((dx+x)&tileMask))
+		st := &src.tiles[srcBase+((sx+x)>>tileShift)]
+		dt := im.writableTile((dx+x)>>tileShift, ty)
+		so := srcOff | ((sx + x) & tileMask)
+		do := dstOff | ((dx + x) & tileMask)
+		copy(dt.px[do:do+n], st.px[so:so+n])
+		x += n
+	}
+}
+
+// copyOverlapping handles a self-copy whose clipped rectangles overlap.
+// When the copy shifts vertically (dy != sy), walking rows in the safe
+// direction guarantees every source row is read before it is
+// overwritten — row r is read at step r-sy and written at step r-dy —
+// so rows copy directly, tile segment by tile segment. Only a purely
+// horizontal shift (dy == sy, source and destination share rows) needs
+// to stage each row through a scratch buffer. Coordinates are already
+// clipped.
+func (im *image) copyOverlapping(sx, sy, dx, dy, w, h int) {
+	if dy == sy {
+		scratch := make([]uint32, w)
+		for yy := 0; yy < h; yy++ {
+			im.readRow(sx, sy+yy, scratch)
+			im.writeRow(dx, dy+yy, scratch)
+		}
+		return
+	}
+	yy0, yy1, step := 0, h, 1
+	if dy > sy {
+		yy0, yy1, step = h-1, -1, -1
+	}
+	for yy := yy0; yy != yy1; yy += step {
+		im.copyRow(im, sx, sy+yy, dx, dy+yy, w)
+	}
+}
+
+// readRow copies len(dst) pixels of row sy starting at sx into dst.
+// Coordinates are already clipped.
+func (im *image) readRow(sx, sy int, dst []uint32) {
+	base := (sy >> tileShift) * im.tw
+	off := (sy & tileMask) << tileShift
+	for x := 0; x < len(dst); {
+		n := min(len(dst)-x, tileSize-((sx+x)&tileMask))
+		t := &im.tiles[base+((sx+x)>>tileShift)]
+		o := off | ((sx + x) & tileMask)
+		copy(dst[x:x+n], t.px[o:o+n])
+		x += n
+	}
+}
+
+// writeRow copies src into row dy starting at dx. Coordinates are
+// already clipped.
+func (im *image) writeRow(dx, dy int, src []uint32) {
+	ty := dy >> tileShift
+	off := (dy & tileMask) << tileShift
+	for x := 0; x < len(src); {
+		n := min(len(src)-x, tileSize-((dx+x)&tileMask))
+		t := im.writableTile((dx+x)>>tileShift, ty)
+		o := off | ((dx + x) & tileMask)
+		copy(t.px[o:o+n], src[x:x+n])
+		x += n
+	}
+}
+
+// packRGB packs the image's pixels into dst as row-major RGB triples.
+// dst must be exactly w*h*3 bytes; the walk is segment-wise over tile
+// rows, so the inner loop reads contiguous memory.
+func (im *image) packRGB(dst []byte) {
+	di := 0
+	for y := 0; y < im.h; y++ {
+		base := (y >> tileShift) * im.tw
+		off := (y & tileMask) << tileShift
+		for x := 0; x < im.w; {
+			n := min(im.w-x, tileSize-(x&tileMask))
+			o := off | (x & tileMask)
+			seg := im.tiles[base+(x>>tileShift)].px[o : o+n]
+			for _, px := range seg {
+				dst[di] = byte(px >> 16)
+				dst[di+1] = byte(px >> 8)
+				dst[di+2] = byte(px)
+				di += 3
 			}
-			im.set(dx+xx, dy+yy, src.pix[py*src.w+px])
+			x += n
 		}
 	}
 }

@@ -41,6 +41,17 @@ import (
 // pixmaps). connsMu is independent: never held together with any other
 // server mutex.
 //
+// Per-tile render state needs no lock class of its own: a tiled image's
+// slab pointers, versions and copy-on-write shared/dirty flags are all
+// guarded by the lock of the drawable that owns the image — treeMu for
+// window pixels, the pixmap's mu for pixmap pixels — exactly as the
+// flat pixel buffers were. Screenshot snapshots alias slabs under that
+// lock and are immutable afterwards (writers clone shared slabs instead
+// of mutating them), so composing and packing a snapshot takes no lock
+// at all; and the render worker pool's fill jobs run while their
+// submitter holds the drawable lock, touching disjoint tiles, acquiring
+// nothing (see render.go).
+//
 // The declaration below is the machine-readable form of that order;
 // cmd/tkcheck's lock-order analyzer checks every acquisition edge in
 // the package against it (resShard.mu is the class of all three
@@ -124,6 +135,11 @@ type Server struct {
 	// so a sampled dispatch can label the waits its collector gathered.
 	// Immutable after New.
 	lockNames map[*obs.Histogram]string
+
+	// render is the render pipeline's pre-resolved slice of the metrics
+	// registry: tile damage/COW/snapshot counters and the per-primitive
+	// service-time histograms. Immutable after New.
+	render *renderMetrics
 }
 
 // gcontext is a server-side graphics context. Fields are mutated only
@@ -233,6 +249,7 @@ func New(width, height int) *Server {
 	s.pixmaps = newResTable[*pixmap](s.metrics.Histogram("lockwait.pixmaps"))
 	s.cursors = newResTable[string](s.metrics.Histogram("lockwait.cursors"))
 	s.writeTimeout.Store(int64(DefaultWriteTimeout))
+	s.render = newRenderMetrics(s.metrics)
 	for a, name := range xproto.PredefinedAtoms {
 		s.atoms[name] = a
 		s.atomNames[a] = name
@@ -243,7 +260,7 @@ func New(width, height int) *Server {
 		h:          height,
 		background: 0x5f9ea0, // the classic root-weave stand-in
 		mapped:     true,
-		img:        newImage(width, height),
+		img:        newImageM(width, height, s.render),
 		masks:      make(map[*conn]uint32),
 		props:      make(map[xproto.Atom]property),
 	}
