@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test tkcheck bench bench-smoke chaos
+.PHONY: check build vet test tkcheck bench bench-smoke bench-farm chaos
 
 check: build vet test tkcheck bench-smoke chaos
 
@@ -23,23 +23,33 @@ tkcheck:
 	$(GO) run ./cmd/tkcheck ./examples/... ./cmd/... ./internal/... ./docs
 	$(GO) run ./cmd/tkcheck -tests ./cmd/wish
 
-bench:
+bench: bench-farm
 	$(GO) test -bench=. -benchmem
 	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench|TestEmitMTServerBench|TestEmitSLOBench|TestEmitRenderBench' -count=1 .
 
-# bench-smoke runs the metrics-path, pipelining, multi-client, SLO and
-# render end-to-end checks (emitting BENCH_obs.json,
-# BENCH_pipeline.json, BENCH_mtserver.json, BENCH_slo.json and
-# BENCH_render.json as side effects): roundtrip p50 must track the
-# simulated IPC latency, 8 pipelined round trips must beat 8 serial
-# ones ≥ 4× under the per-segment model, aggregate throughput at 8
-# concurrent clients must be ≥ 3× the single-client baseline, span
-# sampling at the default 1-in-64 interval must cost < 5% of pipelined
-# round-trip throughput, the tiled renderer must beat the seed flat
-# renderer ≥ 3× on the fill/scroll/text storm, and painters must keep
-# ≥ half their throughput under concurrent screenshot export.
+# bench-smoke runs the metrics-path, pipelining, multi-client, SLO,
+# render and farm end-to-end checks (emitting BENCH_obs.json,
+# BENCH_pipeline.json, BENCH_mtserver.json, BENCH_slo.json,
+# BENCH_render.json and BENCH_farm.json as side effects): roundtrip p50
+# must track the simulated IPC latency, 8 pipelined round trips must
+# beat 8 serial ones ≥ 4× under the per-segment model, aggregate
+# throughput at 8 concurrent clients must be ≥ 3× the single-client
+# baseline, span sampling at the default 1-in-64 interval must cost
+# < 5% of pipelined round-trip throughput, the tiled renderer must beat
+# the seed flat renderer ≥ 3× on the fill/scroll/text storm, painters
+# must keep ≥ half their throughput under concurrent screenshot export,
+# and the session farm must hold 1000 concurrent sessions with bounded
+# memory and survive a 10% mid-run eviction with zero cross-tenant
+# damage (docs/farm.md).
 bench-smoke:
-	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench|TestEmitMTServerBench|TestEmitSLOBench|TestEmitRenderBench' -count=1 .
+	OBS_BENCH=1 $(GO) test -run 'TestEmitObsBench|TestEmitPipelineBench|TestEmitMTServerBench|TestEmitSLOBench|TestEmitRenderBench|TestEmitFarmBench' -count=1 .
+
+# bench-farm runs just the display-farm benchmark (BENCH_farm.json):
+# 1000+ concurrent wish-style sessions, bounded-memory assertion, p99
+# dispatch latency, and the 10%-eviction chaos scenario. See
+# docs/farm.md.
+bench-farm:
+	OBS_BENCH=1 $(GO) test -run TestEmitFarmBench -count=1 -timeout 600s .
 
 # chaos runs the fault-injection harness (chaos_test.go): a real widget
 # workload under a bounded seeded scenario matrix, race-gated, asserting

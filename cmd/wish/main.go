@@ -5,12 +5,16 @@
 //
 // Usage:
 //
-//	wish ?-f script? ?-name appName? ?-display addr? ?-trace? ?-spans file? ?arg ...?
+//	wish ?-f script? ?-name appName? ?-display addr? ?-session name? ?-trace? ?-spans file? ?arg ...?
 //
 // With -display (or the WISH_DISPLAY environment variable) wish connects
 // to a shared simulated display server started with xsimd, so several
 // wish applications can see each other and communicate with send. Without
-// it, a private in-process display server is created.
+// it, a private in-process display server is created. When the display
+// is a session farm (xsimd -sessions), -session (or WISH_SESSION) names
+// the virtual display to attach — wish processes naming the same
+// session share a screen; different names are fully isolated
+// (docs/farm.md).
 //
 // With -trace, every protocol request, reply, error and event crossing
 // the display connection is decoded (xscope-style); the accumulated
@@ -41,6 +45,7 @@ func main() {
 		script   string
 		appName  = "wish"
 		display  = os.Getenv("WISH_DISPLAY")
+		session  = os.Getenv("WISH_SESSION")
 		trace    bool
 		spanFile string
 	)
@@ -69,6 +74,12 @@ func main() {
 			}
 			i++
 			display = args[i]
+		case "-session":
+			if i+1 >= len(args) {
+				fatal("missing session name after -session")
+			}
+			i++
+			session = args[i]
 		case "-trace":
 			trace = true
 		case "-spans":
@@ -99,7 +110,7 @@ func main() {
 	if spanFile != "" {
 		spanInterval = 64
 	}
-	app, err := core.NewApp(core.Options{Name: appName, Display: display, Trace: trace, SpanInterval: spanInterval})
+	app, err := core.NewApp(core.Options{Name: appName, Display: display, Session: session, Trace: trace, SpanInterval: spanInterval})
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	xsimd [-addr 127.0.0.1:6001] [-width 1024] [-height 768] [-latency-us N] [-latency-model request|segment] [-fault spec] [-stats-addr addr] [-span-interval N]
+//	xsimd [-addr 127.0.0.1:6001] [-width 1024] [-height 768] [-latency-us N] [-latency-model request|segment] [-fault spec] [-stats-addr addr] [-span-interval N] [-sessions N] [-quota spec] [-idle-evict dur]
 //
 // -fault wraps every accepted connection in the internal/fault chaos
 // layer, injecting the faults the comma-separated key=value spec
@@ -20,6 +20,15 @@
 // N per connection into the span tracer those endpoints export; clients
 // started with the same interval (wish -spans) record the matching
 // client-side spans.
+//
+// -sessions N turns the single shared display into a multi-tenant
+// session farm (docs/farm.md): each client's AttachSession handshake
+// (wish -session) selects an isolated virtual display, admission is
+// capped at N sessions, -quota bounds what each session may allocate
+// (e.g. "windows=256,pixmap-bytes=16m,gcs=128"), and -idle-evict
+// retires sessions idle longer than the given duration. In farm mode
+// -stats-addr serves the farm's aggregate registry: farm.* lifecycle
+// metrics plus every session's traffic rolled up.
 package main
 
 import (
@@ -49,6 +58,12 @@ func main() {
 		"TCP address for the live introspection endpoints (/metrics, /spans, /slo, /debug/pprof/); empty disables")
 	spanInterval := flag.Int("span-interval", trace.DefaultInterval,
 		"sample 1 request in N into the span tracer served at -stats-addr (0 disables sampling)")
+	sessions := flag.Int("sessions", 0,
+		"host a multi-tenant session farm capped at N sessions (0 = one shared display; docs/farm.md)")
+	quotaSpec := flag.String("quota", "",
+		`per-session resource quota, e.g. "windows=256,pixmap-bytes=16m,gcs=128" (empty = unlimited; docs/farm.md)`)
+	idleEvict := flag.Duration("idle-evict", 0,
+		"evict farm sessions idle longer than this duration (0 disables; requires -sessions)")
 	flag.Parse()
 
 	var scenario fault.Scenario
@@ -63,19 +78,68 @@ func main() {
 		// write direction carries server→client frames.
 		scenario.ServerSide = true
 	}
-
-	srv := xserver.New(*width, *height)
-	if *latency > 0 {
-		srv.SetLatency(time.Duration(*latency) * time.Microsecond)
+	quota, err := xserver.ParseQuota(*quotaSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsimd: %v\n", err)
+		os.Exit(2)
 	}
+	var model xserver.LatencyModel
 	switch *latModel {
 	case "request":
-		srv.SetLatencyModel(xserver.LatencyPerRequest)
+		model = xserver.LatencyPerRequest
 	case "segment":
-		srv.SetLatencyModel(xserver.LatencyPerSegment)
+		model = xserver.LatencyPerSegment
 	default:
 		fmt.Fprintf(os.Stderr, "xsimd: unknown -latency-model %q (want request or segment)\n", *latModel)
 		os.Exit(2)
+	}
+	if *idleEvict != 0 && *sessions <= 0 {
+		fmt.Fprintf(os.Stderr, "xsimd: -idle-evict requires -sessions\n")
+		os.Exit(2)
+	}
+
+	// A span tracer records the server half of sampled requests; the
+	// /spans and /slo endpoints export it alongside the metrics.
+	var spans *trace.Tracer
+	if *statsAddr != "" {
+		spans = trace.New(8192, *spanInterval)
+	}
+
+	// configure applies the per-server knobs: directly in single-display
+	// mode, or to each new session's server in farm mode.
+	configure := func(srv *xserver.Server) {
+		if *latency > 0 {
+			srv.SetLatency(time.Duration(*latency) * time.Microsecond)
+		}
+		srv.SetLatencyModel(model)
+		if spans != nil {
+			srv.SetTracer(spans)
+		}
+	}
+
+	var (
+		serveConn func(net.Conn)
+		stats     statshttp.Options
+		shutdown  func()
+	)
+	if *sessions > 0 {
+		farm := xserver.NewFarm(xserver.FarmOptions{
+			Width: *width, Height: *height,
+			MaxSessions: *sessions,
+			Quota:       quota,
+			IdleEvict:   *idleEvict,
+			Configure:   configure,
+		})
+		serveConn = farm.ServeConn
+		stats = statshttp.Options{Registry: farm.Metrics(), Tracer: spans}
+		shutdown = farm.Close
+	} else {
+		srv := xserver.New(*width, *height)
+		srv.SetQuota(quota)
+		configure(srv)
+		serveConn = srv.ServeConn
+		stats = statshttp.Options{Registry: srv.Metrics(), Tracer: spans}
+		shutdown = srv.Close
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -83,20 +147,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xsimd: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("xsimd: simulated display server on %s (%dx%d)\n", l.Addr(), *width, *height)
+	if *sessions > 0 {
+		fmt.Printf("xsimd: session farm on %s (%dx%d per session, cap %d)\n", l.Addr(), *width, *height, *sessions)
+	} else {
+		fmt.Printf("xsimd: simulated display server on %s (%dx%d)\n", l.Addr(), *width, *height)
+	}
 	if scenario.Active() {
 		fmt.Printf("xsimd: injecting faults on every connection: %s\n", *faultSpec)
 	}
 
 	if *statsAddr != "" {
-		// The span tracer records the server half of sampled requests;
-		// the /spans and /slo endpoints export it alongside the metrics.
-		spans := trace.New(8192, *spanInterval)
-		srv.SetTracer(spans)
-		_, bound, err := statshttp.Serve(*statsAddr, statshttp.Options{
-			Registry: srv.Metrics(),
-			Tracer:   spans,
-		})
+		_, bound, err := statshttp.Serve(*statsAddr, stats)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xsimd: stats endpoint: %v\n", err)
 			os.Exit(1)
@@ -115,7 +176,7 @@ func main() {
 			if scenario.Active() {
 				nc = fault.Wrap(nc, scenario, nil)
 			}
-			go srv.ServeConn(nc)
+			go serveConn(nc)
 		}
 	}()
 
@@ -123,5 +184,5 @@ func main() {
 	signal.Notify(ch, os.Interrupt)
 	<-ch
 	l.Close()
-	srv.Close()
+	shutdown()
 }

@@ -1,0 +1,274 @@
+// The display-farm benchmark (BENCH_farm.json, OBS_BENCH-gated like the
+// other emitters): hosts 1000+ concurrent wish-style sessions on one
+// Farm and holds them under sustained load, asserting the farm's three
+// load-bearing properties along the way —
+//
+//  1. bounded memory: heap (GC'd) must not grow monotonically across
+//     load waves once the ramp is done, i.e. hosting N sessions costs a
+//     plateau, not a leak;
+//  2. chaos isolation: evicting 10% of the sessions mid-run must not
+//     cost the survivors a single failed request, and every evicted
+//     session's quota must reconcile to zero;
+//  3. a measured p99 dispatch latency off the farm's rolled-up
+//     "dispatch" histogram — the same series /slo reports.
+package repro_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/xclient"
+	"repro/internal/xproto"
+	"repro/internal/xserver"
+)
+
+const (
+	farmBenchSessions = 1000
+	farmBenchEvict    = farmBenchSessions / 10
+	farmBenchWaves    = 3
+	farmBenchRounds   = 20
+)
+
+// farmTenant is one simulated wish session: a display connection plus
+// the resources a small widget app would hold.
+type farmTenant struct {
+	name string
+	d    *xclient.Display
+	sess *xserver.Session
+	win  xproto.ID
+	gc   xproto.ID
+}
+
+// run performs one load round: a fill into the session's window plus a
+// round trip, the shape of a widget redisplay.
+func (ft *farmTenant) run() error {
+	ft.d.FillRectangle(ft.win, ft.gc, 2, 2, 60, 40)
+	return ft.d.Sync()
+}
+
+func TestEmitFarmBench(t *testing.T) {
+	requireObsBench(t, "BENCH_farm.json")
+
+	farm := xserver.NewFarm(xserver.FarmOptions{
+		// Small per-session screens: the farm's point is thousands of
+		// cheap displays, not thousands of 1024×768 framebuffers.
+		Width: 160, Height: 120,
+		MaxSessions: farmBenchSessions + 50,
+		Quota: xserver.Quota{
+			MaxWindows:     32,
+			MaxPixmapBytes: 1 << 20,
+			MaxGCs:         32,
+		},
+	})
+	defer farm.Close()
+
+	// Ramp: attach every session and furnish it like a small app.
+	start := time.Now()
+	tenants := make([]*farmTenant, farmBenchSessions)
+	var wg sync.WaitGroup
+	errs := make(chan error, farmBenchSessions)
+	for i := range tenants {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("sess-%04d", i)
+			d, err := xclient.OpenSession(farm.ConnectPipe(), name)
+			if err != nil {
+				errs <- fmt.Errorf("%s: attach: %w", name, err)
+				return
+			}
+			ft := &farmTenant{name: name, d: d}
+			ft.win = d.CreateWindow(d.Root, 0, 0, 80, 60, 1, xclient.WindowAttributes{})
+			d.MapWindow(ft.win)
+			ft.gc = d.CreateGC(xclient.GCValues{Foreground: 0x336699})
+			d.CreatePixmap(16, 16)
+			if err := d.Sync(); err != nil {
+				errs <- fmt.Errorf("%s: furnish: %w", name, err)
+				return
+			}
+			sess, ok := farm.Lookup(name)
+			if !ok {
+				errs <- fmt.Errorf("%s: session missing after attach", name)
+				return
+			}
+			ft.sess = sess
+			tenants[i] = ft
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	rampDur := time.Since(start)
+	if n := farm.SessionCount(); n != farmBenchSessions {
+		t.Fatalf("SessionCount = %d, want %d", n, farmBenchSessions)
+	}
+
+	// heapNow GCs twice (finalizer-created garbage included) and reads
+	// the live heap.
+	heapNow := func() uint64 {
+		runtime.GC()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	// Sustained waves: every session keeps redisplaying; heap is sampled
+	// at each wave boundary.
+	runWave := func(group []*farmTenant) time.Duration {
+		begin := time.Now()
+		var wwg sync.WaitGroup
+		werrs := make(chan error, len(group))
+		for _, ft := range group {
+			wwg.Add(1)
+			go func(ft *farmTenant) {
+				defer wwg.Done()
+				for r := 0; r < farmBenchRounds; r++ {
+					if err := ft.run(); err != nil {
+						werrs <- fmt.Errorf("%s: %w", ft.name, err)
+						return
+					}
+				}
+			}(ft)
+		}
+		wwg.Wait()
+		close(werrs)
+		for err := range werrs {
+			t.Fatal(err)
+		}
+		return time.Since(begin)
+	}
+
+	heapByWave := make([]uint64, 0, farmBenchWaves+1)
+	heapByWave = append(heapByWave, heapNow())
+	waveDurs := make([]time.Duration, 0, farmBenchWaves)
+	for w := 0; w < farmBenchWaves; w++ {
+		waveDurs = append(waveDurs, runWave(tenants))
+		heapByWave = append(heapByWave, heapNow())
+	}
+
+	// Bounded memory: the heap after the last wave must not exceed the
+	// post-ramp plateau by more than 15% — growth across waves at steady
+	// session count would be a leak.
+	plateau, last := heapByWave[1], heapByWave[len(heapByWave)-1]
+	growth := float64(last) / float64(plateau)
+	if growth > 1.15 {
+		t.Fatalf("heap grew %.2fx across steady-state waves (%d -> %d bytes): unbounded",
+			growth, plateau, last)
+	}
+
+	// Chaos: evict 10% of the sessions while the rest keep working. The
+	// victims' clients are mid-flight on purpose.
+	victims, survivors := tenants[:farmBenchEvict], tenants[farmBenchEvict:]
+	var vwg sync.WaitGroup
+	for _, ft := range victims {
+		vwg.Add(1)
+		go func(ft *farmTenant) {
+			defer vwg.Done()
+			for ft.run() == nil {
+			}
+		}(ft)
+	}
+	var ewg sync.WaitGroup
+	ewg.Add(1)
+	go func() {
+		defer ewg.Done()
+		for _, ft := range victims {
+			if !farm.Evict(ft.name) {
+				t.Errorf("Evict(%s) found no session", ft.name)
+			}
+		}
+	}()
+	survivorDur := runWave(survivors) // must complete with zero errors
+	ewg.Wait()
+	vwg.Wait()
+
+	// Every evicted session's quota reconciles to zero.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, ft := range victims {
+		for {
+			w, pb, g := ft.sess.Server().QuotaUsage()
+			if w == 0 && pb == 0 && g == 0 {
+				break
+			}
+			if w < 0 || pb < 0 || g < 0 {
+				t.Fatalf("%s: negative quota after eviction: %d/%d/%d", ft.name, w, pb, g)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: quota not reconciled after eviction: %d/%d/%d", ft.name, w, pb, g)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if n := farm.SessionCount(); n != farmBenchSessions-farmBenchEvict {
+		t.Fatalf("SessionCount after chaos = %d, want %d", n, farmBenchSessions-farmBenchEvict)
+	}
+
+	// Full teardown: close the survivors too and require global
+	// reconciliation.
+	for _, ft := range survivors {
+		ft.d.Close()
+	}
+	for _, ft := range victims {
+		ft.d.Close()
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for _, ft := range survivors {
+		for {
+			w, pb, g := ft.sess.Server().QuotaUsage()
+			if w == 0 && pb == 0 && g == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: quota not reconciled on teardown: %d/%d/%d", ft.name, w, pb, g)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	reg := farm.Metrics()
+	disp := reg.Histogram("dispatch").Snapshot()
+	if disp.Count == 0 {
+		t.Fatal("farm rollup dispatch histogram is empty")
+	}
+	report := map[string]any{
+		"sessions":           farmBenchSessions,
+		"screen":             "160x120",
+		"ramp_ms":            rampDur.Milliseconds(),
+		"waves":              farmBenchWaves,
+		"rounds_per_wave":    farmBenchRounds,
+		"wave_ms":            []int64{waveDurs[0].Milliseconds(), waveDurs[1].Milliseconds(), waveDurs[2].Milliseconds()},
+		"requests_total":     reg.Counter("requests").Value(),
+		"dispatch_p50_ns":    disp.Quantile(0.50),
+		"dispatch_p99_ns":    disp.Quantile(0.99),
+		"heap_by_wave_bytes": heapByWave,
+		"heap_growth_ratio":  growth,
+		"chaos": map[string]any{
+			"evicted":            farmBenchEvict,
+			"survivor_wave_ms":   survivorDur.Milliseconds(),
+			"survivor_errors":    0,
+			"quotas_reconciled":  true,
+			"sessions_after":     farmBenchSessions - farmBenchEvict,
+			"evictions_counter":  reg.Counter("farm.evictions").Value(),
+			"admissions_counter": reg.Counter("farm.admissions").Value(),
+			"rejections_counter": reg.Counter("farm.rejections").Value(),
+			"quota_denied_total": reg.Counter("quota.denied.windows").Value() + reg.Counter("quota.denied.pixmap_bytes").Value() + reg.Counter("quota.denied.gcs").Value(),
+		},
+	}
+	writeBenchJSON(t, "BENCH_farm.json", report)
+	t.Logf("farm bench: %d sessions, ramp %v, p99 dispatch %v, heap growth %.3fx",
+		farmBenchSessions, rampDur, time.Duration(disp.Quantile(0.99)), growth)
+
+	// Leave the shared bench binary with a settled heap: tearing down
+	// 1000 sessions frees tens of MB at once, and GC pacing off that
+	// spike skews the timing-sensitive emitters that run after this
+	// test in the same process. Close is idempotent, so the deferred
+	// call becomes a no-op.
+	farm.Close()
+	heapNow()
+}

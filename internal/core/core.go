@@ -39,6 +39,11 @@ type Options struct {
 	// Display is a TCP address of a display server (cmd/xsimd). Empty
 	// means "create a private in-process server".
 	Display string
+	// Session names the virtual display to attach when Display points at
+	// a session farm (xsimd -sessions, docs/farm.md); empty selects the
+	// farm's default session. A plain single-display server ignores the
+	// attach, so setting it is always safe. Unused for private servers.
+	Session string
 	// ScreenWidth/ScreenHeight size the private server's screen.
 	ScreenWidth, ScreenHeight int
 	// Interp optionally supplies an existing interpreter.
@@ -104,7 +109,15 @@ func NewApp(opts Options) (*App, error) {
 			srv.SetTracer(spans)
 		}
 	}
-	d, err := xclient.Open(conn)
+	var d *xclient.Display
+	if opts.Display != "" {
+		// Remote displays get the session handshake (harmless when the
+		// server is a plain single display); the attach frame crosses the
+		// tracer tap like any other request, so a -trace log shows it.
+		d, err = xclient.OpenSession(conn, opts.Session)
+	} else {
+		d, err = xclient.Open(conn)
+	}
 	if err != nil {
 		if srv != nil {
 			srv.Close()

@@ -160,6 +160,18 @@ func Open(conn net.Conn) (*Display, error) {
 		}
 		return nil, fmt.Errorf("xclient: connection setup failed: %w", err)
 	}
+	if kind == xproto.KindError {
+		// A pre-setup refusal: a session farm rejecting admission (cap
+		// reached, malformed attach) answers with a sequence-0 error
+		// frame instead of a setup block. Surface its message.
+		conn.Close()
+		r := xproto.NewReader(payload)
+		r.U64() // sequence; 0 for pre-setup refusals
+		if msg := r.String(); r.Err() == nil && msg != "" {
+			return nil, fmt.Errorf("xclient: display server refused the connection: %s", msg)
+		}
+		return nil, fmt.Errorf("xclient: display server refused the connection")
+	}
 	if kind != xproto.KindReply {
 		conn.Close()
 		return nil, fmt.Errorf("xclient: unexpected setup message kind %d", kind)
@@ -182,6 +194,35 @@ func Dial(addr string) (*Display, error) {
 		return nil, err
 	}
 	return Open(conn)
+}
+
+// OpenSession establishes a Display attached to the named virtual
+// display of a session-multiplexing server (xserver.Farm,
+// docs/farm.md). The attach handshake is written raw before the setup
+// read — it carries no sequence number on either side, so against a
+// plain single-display server (which consumes it without counting it)
+// the connection behaves exactly like Open. The empty name selects the
+// farm's default session.
+func OpenSession(conn net.Conn, session string) (*Display, error) {
+	w := xproto.AcquireWriter()
+	(&xproto.AttachSessionReq{Session: session}).Encode(w)
+	err := xproto.WriteRequestFrame(conn, xproto.OpAttachSession, w.Bytes())
+	xproto.ReleaseWriter(w)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("xclient: writing session attach: %w", err)
+	}
+	return Open(conn)
+}
+
+// DialSession connects to a display farm at a TCP address and attaches
+// to the named session.
+func DialSession(addr, session string) (*Display, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return OpenSession(conn, session)
 }
 
 // Close shuts the connection down.

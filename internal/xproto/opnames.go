@@ -55,6 +55,7 @@ var opNames = map[uint16]string{
 	OpPing:                   "Ping",
 	OpSetLatency:             "SetLatency",
 	OpQueryCounters:          "QueryCounters",
+	OpAttachSession:          "AttachSession",
 }
 
 // OpName returns the protocol name of a request opcode ("CreateWindow"),

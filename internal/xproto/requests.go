@@ -54,6 +54,7 @@ const (
 	OpPing          uint16 = 202
 	OpSetLatency    uint16 = 203
 	OpQueryCounters uint16 = 204
+	OpAttachSession uint16 = 205
 )
 
 // Request is one client-to-server protocol request.
@@ -177,6 +178,8 @@ func NewRequest(op uint16) Request {
 		return &SetLatencyReq{}
 	case OpQueryCounters:
 		return &QueryCountersReq{}
+	case OpAttachSession:
+		return &AttachSessionReq{}
 	}
 	return nil
 }
@@ -1243,6 +1246,20 @@ type QueryCountersReq struct{}
 func (q *QueryCountersReq) Op() uint16       { return OpQueryCounters }
 func (q *QueryCountersReq) Encode(w *Writer) {}
 func (q *QueryCountersReq) Decode(r *Reader) {}
+
+// AttachSessionReq selects a virtual display on a session-multiplexing
+// server (the farm handshake, docs/farm.md). A client sends it as its
+// very first frame — before the server's setup block — to name the
+// session it wants; the farm routes the connection to that session's
+// server, which then sends its setup block as usual. The empty name
+// selects the default session. A plain single-display server consumes
+// the frame without assigning it a sequence number, so a session-aware
+// client can speak to either kind of server.
+type AttachSessionReq struct{ Session string }
+
+func (q *AttachSessionReq) Op() uint16       { return OpAttachSession }
+func (q *AttachSessionReq) Encode(w *Writer) { w.PutString(q.Session) }
+func (q *AttachSessionReq) Decode(r *Reader) { q.Session = r.String() }
 
 // CountersReply reports per-connection protocol traffic, used by the
 // resource-cache experiments (§3.3 of the paper).

@@ -167,6 +167,12 @@ func (s *Server) destroyWindow(w *window) {
 		}
 	}
 	delete(s.windows, w.id)
+	if w != s.root {
+		// Every non-root window in s.windows passed through
+		// handleCreateWindow's quota reservation exactly once; this is
+		// the matching release (recursion covers the subtree).
+		s.usedWindows.Add(-1)
+	}
 	for sel, o := range s.selections {
 		if o.owner == w {
 			delete(s.selections, sel)

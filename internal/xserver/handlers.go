@@ -156,15 +156,33 @@ func (s *Server) handle(c *conn, req xproto.Request) {
 
 	// --- Per-client resources: sharded tables, shard locks only. -----
 	case *xproto.CreatePixmapReq:
-		p := &pixmap{img: newImageM(int(q.Width), int(q.Height), s.render)}
+		// Quota is reserved for the nominal flat size before the tiles
+		// are allocated; an ID overwrite releases what the displaced
+		// pixmap had reserved, so usage tracks the live table exactly.
+		bytes := int64(q.Width) * int64(q.Height) * 4
+		if !reserveQuota(&s.usedPixmapBytes, s.quotaPixmapBytes.Load(), bytes) {
+			s.quotaDenied(c, "pixmap_bytes", "CreatePixmap", s.quotaPixmapBytes.Load())
+			return
+		}
+		p := &pixmap{img: newImageM(int(q.Width), int(q.Height), s.render), bytes: bytes, owner: c}
 		p.mu.Instrument(s.metrics.Histogram("lockwait.pixmaps"))
-		s.pixmaps.set(q.Pid, p)
+		if old, ok := s.pixmaps.set(q.Pid, p); ok {
+			s.usedPixmapBytes.Add(-old.bytes)
+		}
 	case *xproto.FreePixmapReq:
-		s.pixmaps.delete(q.Pid)
+		if p, ok := s.pixmaps.take(q.Pid); ok {
+			s.usedPixmapBytes.Add(-p.bytes)
+		}
 	case *xproto.CreateGCReq:
+		if !reserveQuota(&s.usedGCs, s.quotaGCs.Load(), 1) {
+			s.quotaDenied(c, "gcs", "CreateGC", s.quotaGCs.Load())
+			return
+		}
 		gc := &gcontext{foreground: 0, background: 0xffffff, lineWidth: 1, owner: c}
 		applyGC(gc, q.Mask, q.Foreground, q.Background, q.LineWidth, q.Font)
-		s.gcs.set(q.Gid, gc)
+		if _, ok := s.gcs.set(q.Gid, gc); ok {
+			s.usedGCs.Add(-1)
+		}
 	case *xproto.ChangeGCReq:
 		ok := s.gcs.with(q.Gid, func(gc *gcontext) {
 			applyGC(gc, q.Mask, q.Foreground, q.Background, q.LineWidth, q.Font)
@@ -173,7 +191,9 @@ func (s *Server) handle(c *conn, req xproto.Request) {
 			c.protoError("ChangeGC: bad gc %d", q.Gid)
 		}
 	case *xproto.FreeGCReq:
-		s.gcs.delete(q.Gid)
+		if _, ok := s.gcs.take(q.Gid); ok {
+			s.usedGCs.Add(-1)
+		}
 	case *xproto.CreateCursorReq:
 		s.cursors.set(q.Cid, q.Shape)
 
@@ -233,6 +253,11 @@ func (s *Server) handle(c *conn, req xproto.Request) {
 		c.reply(func(w *xproto.Writer) {})
 	case *xproto.SetLatencyReq:
 		s.latency.Store(int64(q.Micros) * 1000)
+	case *xproto.AttachSessionReq:
+		// The session handshake never reaches dispatch: the farm consumes
+		// it pre-setup (Farm.ServeConn) and a plain server's request loop
+		// skips it without a sequence number (ServeConn). A mid-stream
+		// attach on an established connection is a no-op by design.
 	case *xproto.QueryCountersReq:
 		rep := &xproto.CountersReply{
 			Requests:   c.metrics.Counter("requests").Value(),
@@ -301,6 +326,12 @@ func (s *Server) handleCreateWindow(c *conn, q *xproto.CreateWindowReq) {
 	}
 	if s.windows[q.Wid] != nil {
 		c.protoError("CreateWindow: window %d already exists", q.Wid)
+		return
+	}
+	// Reserve after the validity checks so a denied or invalid request
+	// leaves usage untouched; destroyWindow releases the reservation.
+	if !reserveQuota(&s.usedWindows, s.quotaWindows.Load(), 1) {
+		s.quotaDenied(c, "windows", "CreateWindow", s.quotaWindows.Load())
 		return
 	}
 	w := &window{

@@ -27,11 +27,14 @@ func (sh *resShard[V]) get(id xproto.ID) (V, bool) {
 	return v, ok
 }
 
-// set stores v under id.
-func (sh *resShard[V]) set(id xproto.ID, v V) {
+// set stores v under id, returning the value it displaced (if any) so
+// overwrite paths can release whatever that value had reserved.
+func (sh *resShard[V]) set(id xproto.ID, v V) (V, bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	old, ok := sh.m[id]
 	sh.m[id] = v
+	return old, ok
 }
 
 // delete removes id.
@@ -39,6 +42,18 @@ func (sh *resShard[V]) delete(id xproto.ID) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	delete(sh.m, id)
+}
+
+// take removes id and returns the value it held, so free paths can
+// release the value's quota reservation exactly once.
+func (sh *resShard[V]) take(id xproto.ID) (V, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, ok := sh.m[id]
+	if ok {
+		delete(sh.m, id)
+	}
+	return v, ok
 }
 
 // with runs fn on the value for id while the shard lock is held, so fn
@@ -103,8 +118,9 @@ func (t *resTable[V]) shard(id xproto.ID) *resShard[V] {
 }
 
 func (t *resTable[V]) get(id xproto.ID) (V, bool)           { return t.shard(id).get(id) }
-func (t *resTable[V]) set(id xproto.ID, v V)                { t.shard(id).set(id, v) }
+func (t *resTable[V]) set(id xproto.ID, v V) (V, bool)      { return t.shard(id).set(id, v) }
 func (t *resTable[V]) delete(id xproto.ID)                  { t.shard(id).delete(id) }
+func (t *resTable[V]) take(id xproto.ID) (V, bool)          { return t.shard(id).take(id) }
 func (t *resTable[V]) with(id xproto.ID, fn func(v V)) bool { return t.shard(id).with(id, fn) }
 
 // sweep removes every entry for which drop returns true, shard by

@@ -111,6 +111,35 @@ type Server struct {
 	writeTimeout atomic.Int64  // nanoseconds a stalled peer may block a write
 	start        time.Time     // immutable after New
 
+	// Resource quota (SetQuota, docs/farm.md): limits and live usage are
+	// atomics, so allocating handlers CAS-reserve against the limit with
+	// no new lock and every free path (FreeGC/FreePixmap, DestroyWindow,
+	// cleanupConn's sweeps) releases what the allocation reserved. A zero
+	// limit means unlimited.
+	quotaWindows     atomic.Int64
+	quotaPixmapBytes atomic.Int64
+	quotaGCs         atomic.Int64
+	usedWindows      atomic.Int64
+	usedPixmapBytes  atomic.Int64
+	usedGCs          atomic.Int64
+
+	// rollup aggregation (SetRollup): when this server is one session of
+	// a farm, the farm's registry is attached here and the hot dispatch
+	// path bumps these pre-resolved handles alongside the per-session
+	// metrics, so /metrics and /slo over the farm registry see every
+	// tenant's traffic under the standard names. All three are set before
+	// the server accepts its first connection and immutable afterwards.
+	rollup         *obs.Registry
+	rollupRequests *obs.Counter
+	rollupDispatch *obs.Histogram
+
+	// activity, when non-nil, receives a unix-nano stamp per dispatched
+	// request: the farm points it at the owning session's last-active
+	// clock so the idle-eviction sweeper sees tenant activity without the
+	// dispatch path knowing the farm exists. Set before serving,
+	// immutable afterwards.
+	activity *atomic.Int64
+
 	// Connection registry, independent of the dispatch locks above.
 	connsMu  obs.TimedMutex
 	conns    map[*conn]bool // guarded by connsMu
@@ -159,8 +188,10 @@ type gcontext struct {
 // contents are guarded by mu, so clients drawing into distinct pixmaps
 // never contend (and never touch treeMu at all).
 type pixmap struct {
-	mu  obs.TimedMutex
-	img *image // the pointer is immutable; pixel contents are guarded by mu
+	mu    obs.TimedMutex
+	img   *image // the pointer is immutable; pixel contents are guarded by mu
+	bytes int64  // nominal quota cost (w·h·4 at create), immutable
+	owner *conn  // creating connection, immutable; cleanupConn sweeps by it
 }
 
 // with runs fn on the pixmap's pixels under its lock.
@@ -329,6 +360,22 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics }
 // numbering (see internal/obs/trace).
 func (s *Server) SetTracer(t *trace.Tracer) { s.tracer.Store(t) }
 
+// SetRollup attaches an aggregate registry (a farm's) that the dispatch
+// path bumps alongside this server's own: the standard "requests"
+// counter and "dispatch" histogram names, pre-resolved here so the hot
+// path pays two atomic ops, not a map lookup. Quota denials roll up too
+// (quota.go). Call before the server accepts its first connection.
+func (s *Server) SetRollup(reg *obs.Registry) {
+	s.rollup = reg
+	s.rollupRequests = reg.Counter("requests")
+	s.rollupDispatch = reg.Histogram("dispatch")
+}
+
+// setActivity points the per-request activity stamp at the given clock
+// (the farm's per-session last-active time). Call before the server
+// accepts its first connection.
+func (s *Server) setActivity(clock *atomic.Int64) { s.activity = clock }
+
 // now returns the server timestamp in milliseconds.
 func (s *Server) now() uint32 {
 	return uint32(time.Since(s.start) / time.Millisecond)
@@ -487,6 +534,16 @@ func (s *Server) ServeConn(nc net.Conn) {
 			break
 		}
 		rbuf = payload
+		if op == xproto.OpAttachSession {
+			// The farm consumes the attach handshake before the request
+			// loop ever starts (Farm.ServeConn); one arriving here means a
+			// session-aware client attached a plain single-display server,
+			// which is already the display it asked for. Consume the frame
+			// without assigning it a sequence number — the client wrote it
+			// before its Display existed and does not count it either, so
+			// skipping keeps both sides' numbering in lockstep.
+			continue
+		}
 		if s.latModel.Load() == int32(LatencyPerRequest) {
 			if lat := s.latency.Load(); lat > 0 {
 				time.Sleep(time.Duration(lat))
@@ -502,7 +559,13 @@ func (s *Server) ServeConn(nc net.Conn) {
 		s.metrics.Counter("requests." + name).Inc()
 		c.metrics.Counter("requests").Inc()
 		c.metrics.Counter("requests." + name).Inc()
+		if s.rollupRequests != nil {
+			s.rollupRequests.Inc()
+		}
 		begin := time.Now()
+		if a := s.activity; a != nil {
+			a.Store(begin.UnixNano())
+		}
 		var elapsed time.Duration
 		if tr := s.tracer.Load(); tr != nil && tr.Sampled(c.seq) {
 			// Sampled dispatch: collect this goroutine's contended lock
@@ -539,6 +602,9 @@ func (s *Server) ServeConn(nc net.Conn) {
 		}
 		s.metrics.Histogram("dispatch").Observe(elapsed)
 		c.metrics.Histogram("dispatch").Observe(elapsed)
+		if s.rollupDispatch != nil {
+			s.rollupDispatch.Observe(elapsed)
+		}
 	}
 	c.close()
 	s.connsMu.Lock()
@@ -692,8 +758,11 @@ func (s *Server) dispatch(c *conn, op uint16, payload []byte) {
 }
 
 // cleanupConn releases all resources owned by a departed client: its
-// windows are destroyed (as X does), its GCs freed, its event-mask
-// entries removed, and its selections cleared.
+// windows are destroyed (as X does), its GCs and pixmaps freed, its
+// event-mask entries removed, and its selections cleared. Every release
+// returns its quota reservation, so after the last connection of a
+// session disconnects QuotaUsage reports zero across the board — the
+// reconciliation invariant the farm bench asserts on teardown.
 func (s *Server) cleanupConn(c *conn) {
 	s.treeMu.Lock()
 	// Collect first, destroy second: destroyWindow mutates s.windows
@@ -727,5 +796,22 @@ func (s *Server) cleanupConn(c *conn) {
 		}
 	}
 	s.treeMu.Unlock()
-	s.gcs.sweep(func(gc *gcontext) bool { return gc.owner == c })
+	s.gcs.sweep(func(gc *gcontext) bool {
+		if gc.owner != c {
+			return false
+		}
+		s.usedGCs.Add(-1)
+		return true
+	})
+	// Pixmaps are per-client resources too: sweeping them here (by the
+	// owner recorded at CreatePixmap) both releases their quota bytes and
+	// frees their backing tiles when a client departs, instead of letting
+	// orphaned pixmaps accumulate for the life of the server.
+	s.pixmaps.sweep(func(p *pixmap) bool {
+		if p.owner != c {
+			return false
+		}
+		s.usedPixmapBytes.Add(-p.bytes)
+		return true
+	})
 }
