@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 	"time"
@@ -213,5 +214,203 @@ func chaosWorkload(t *testing.T, srv *xserver.Server, fc *fault.Conn, sc fault.S
 		fmt.Sscanf(res, "%d", &out.tkerrors)
 	}
 	out.recovered = d.Sync() == nil
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol v2 under fire (docs/pipelining.md, "Wire protocol v2").
+//
+// The v2 codec ships compressed, delta-encoded segments, so a single
+// flipped bit no longer damages one request — it damages a whole
+// coalesced run, and a desynced delta cache would silently reconstruct
+// *plausible but wrong* frames forever after. These scenarios hold the
+// failure-mode line: corruption inside a compressed segment and a kill
+// mid-delta-stream must degrade to a clean connection loss (every
+// cookie fails promptly with the root cause) — never to a garbage
+// frame reaching a handler, which the deterministic-pixel check below
+// would catch as silent canvas corruption.
+
+// chaosWireScenarios: bit flips on each direction's compressed
+// segments, and a mid-stream kill between delta frames. The corruption
+// probabilities are much higher than the v1 matrix's because they are
+// charged per Write/Read call and the whole point of v2 is that a
+// storm collapses into a handful of large writes — at v1's 0.05 the
+// seeded runs inject nothing at all (the runner asserts they do).
+var chaosWireScenarios = []fault.Scenario{
+	{Name: "v2-bitflip-compressed-write", Seed: 21, CorruptWriteProb: 0.5},
+	{Name: "v2-bitflip-compressed-read", Seed: 24, CorruptReadProb: 0.5},
+	{Name: "v2-kill-mid-delta", Seed: 23, KillAfterBytes: 1024},
+}
+
+// wireChaosOutcome extends the plain outcome with the silent-corruption
+// verdict: garbage is true when a fully "recovered" zero-error run
+// produced pixels differing from the clean reference — meaning a
+// corrupt frame was decoded and dispatched instead of rejected.
+type wireChaosOutcome struct {
+	surfaced  []string
+	recovered bool
+	upgraded  bool // the v2 negotiation completed before any fault hit
+	garbage   bool
+}
+
+// TestChaosWireV2 runs the deterministic fill storm over a negotiated
+// v2 connection under each scenario. Run by `make chaos` (the -run
+// TestChaos prefix matches).
+func TestChaosWireV2(t *testing.T) {
+	for _, sc := range chaosWireScenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			runWireChaosScenario(t, sc)
+		})
+	}
+}
+
+func runWireChaosScenario(t *testing.T, sc fault.Scenario) {
+	srv := xserver.New(320, 240)
+	defer srv.Close()
+	srv.SetWriteTimeout(time.Second)
+
+	// Clean reference: the same deterministic storm on an unfaulted v2
+	// connection, screenshotted. Any faulted run that claims full
+	// recovery with zero errors must reproduce these bytes exactly.
+	ref := func() []byte {
+		d, err := xclient.OpenWith(srv.ConnectPipe(), xclient.Config{Wire: xclient.WireV2})
+		if err != nil {
+			t.Fatalf("clean reference open: %v", err)
+		}
+		defer d.Close()
+		w := wireChaosStorm(d)
+		if err := d.Sync(); err != nil {
+			t.Fatalf("clean reference sync: %v", err)
+		}
+		shot, err := d.Screenshot(w)
+		if err != nil {
+			t.Fatalf("clean reference screenshot: %v", err)
+		}
+		return append([]byte(nil), shot.Pixels...)
+	}()
+
+	fc := fault.Wrap(srv.ConnectPipe(), sc, nil)
+	outc := make(chan wireChaosOutcome, 1)
+	go func() {
+		outc <- wireChaosWorkload(fc, ref)
+	}()
+
+	var out wireChaosOutcome
+	select {
+	case out = <-outc:
+	case <-time.After(60 * time.Second):
+		srv.Close()
+		t.Fatalf("scenario %q hung: v2 workload did not finish within 60s", sc.Name)
+	}
+
+	// Accounting: the per-kind counters explain 100% of the injections.
+	var sum uint64
+	for _, name := range fault.CounterNames {
+		sum += fc.Metrics().Counter(name).Value()
+	}
+	if sum != fc.Total() {
+		t.Fatalf("fault counters sum to %d but Total() = %d", sum, fc.Total())
+	}
+	injected := fc.Total()
+	t.Logf("scenario %-28s injected=%-4d surfaced=%-3d recovered=%v upgraded=%v",
+		sc.Name, injected, len(out.surfaced), out.recovered, out.upgraded)
+
+	// The seeded runs are deterministic: each scenario must actually
+	// fire, or it is testing nothing (a corruption probability tuned
+	// for v1's chatty write pattern can silently undershoot v2's few
+	// large writes).
+	if injected == 0 {
+		t.Fatalf("scenario %q injected no faults — tune the scenario for the v2 write pattern", sc.Name)
+	}
+
+	// The no-silent-corruption line: a corrupted segment must never
+	// decode into a frame a handler acts on. If it had, the zero-error
+	// "recovered" canvas would differ from the clean reference.
+	if out.garbage {
+		t.Fatalf("scenario %q: connection recovered with zero errors but the canvas "+
+			"differs from the clean run — a corrupt frame reached a handler", sc.Name)
+	}
+	// Graceful degradation, as in the v1 matrix: injected faults are
+	// either absorbed (the connection still answers) or surface as
+	// clean errors. A dead connection with nothing surfaced means a
+	// failure was swallowed.
+	if injected > 0 && !out.recovered && len(out.surfaced) == 0 {
+		t.Fatalf("scenario %q injected %d faults, connection is dead, and nothing surfaced",
+			sc.Name, injected)
+	}
+	// The kill fires deterministically inside the delta stream (the
+	// storm alone crosses KillAfterBytes): the connection must die and
+	// every outstanding cookie must have failed with the root cause
+	// rather than hanging (the watchdog above is the hang detector).
+	if sc.KillAfterBytes > 0 {
+		if out.recovered {
+			t.Fatalf("scenario %q: connection survived a mid-stream kill", sc.Name)
+		}
+		if len(out.surfaced) == 0 {
+			t.Fatalf("scenario %q: mid-stream kill surfaced no errors", sc.Name)
+		}
+	}
+}
+
+// wireChaosStorm paints the deterministic pattern the pixel check keys
+// on: a window, one GC, and 400 delta-friendly fills (same opcode,
+// varying geometry — exactly the traffic the v2 cache collapses).
+func wireChaosStorm(d *xclient.Display) xproto.ID {
+	w := d.CreateWindow(d.Root, 0, 0, 320, 240, 0, xclient.WindowAttributes{Background: 0x202020})
+	d.MapWindow(w)
+	gc := d.CreateGC(xclient.GCValues{Foreground: 0x40C080})
+	for i := 0; i < 400; i++ {
+		d.FillRectangle(w, gc, (i*7)%300, (i*13)%220, 12, 9)
+	}
+	return w
+}
+
+// wireChaosWorkload drives the storm plus pipelined pings over the
+// faulted connection, then renders the verdict: recovered? and if
+// fully clean, do the pixels match the reference?
+func wireChaosWorkload(fc *fault.Conn, ref []byte) wireChaosOutcome {
+	var out wireChaosOutcome
+	collect := func(stage string, err error) {
+		if err != nil {
+			out.surfaced = append(out.surfaced, fmt.Sprintf("%s: %v", stage, err))
+		}
+	}
+
+	d, err := xclient.OpenWith(fc, xclient.Config{Wire: xclient.WireV2})
+	if err != nil {
+		collect("open", err)
+		return out
+	}
+	defer d.Close()
+	d.SetRoundTripTimeout(2 * time.Second)
+	out.upgraded = d.WireVersion() == 2
+
+	w := wireChaosStorm(d)
+
+	// Pipelined cookies across the faulty link: all must resolve —
+	// with a reply or a clean error — never hang.
+	cookies := make([]*xclient.Cookie, 8)
+	for i := range cookies {
+		cookies[i] = d.SendWithReply(&xproto.PingReq{})
+	}
+	collect("flush", d.Flush())
+	for _, ck := range cookies {
+		collect("cookie", ck.Wait(nil))
+	}
+
+	out.recovered = d.Sync() == nil
+	if out.recovered && len(out.surfaced) == 0 {
+		shot, err := d.Screenshot(w)
+		switch {
+		case err != nil:
+			// The screenshot itself died on a late fault: a clean
+			// surfaced error, not silent corruption.
+			collect("screenshot", err)
+			out.recovered = false
+		case !bytes.Equal(shot.Pixels, ref):
+			out.garbage = true
+		}
+	}
 	return out
 }

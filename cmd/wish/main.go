@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wish ?-f script? ?-name appName? ?-display addr? ?-session name? ?-trace? ?-spans file? ?arg ...?
+//	wish ?-f script? ?-name appName? ?-display addr? ?-session name? ?-wire v1|v2? ?-trace? ?-spans file? ?arg ...?
 //
 // With -display (or the WISH_DISPLAY environment variable) wish connects
 // to a shared simulated display server started with xsimd, so several
@@ -15,6 +15,13 @@
 // the virtual display to attach — wish processes naming the same
 // session share a screen; different names are fully isolated
 // (docs/farm.md).
+//
+// With -wire v2, the connection negotiates the v2 wire protocol
+// (docs/pipelining.md): flate-compressed request segments, delta
+// encoding of repeated requests, and latency-adaptive flush batching.
+// Servers that do not speak v2 transparently fall back to v1. The
+// default is v1; -trace forces v1 (the wire tracer decodes raw v1
+// framing only).
 //
 // With -trace, every protocol request, reply, error and event crossing
 // the display connection is decoded (xscope-style); the accumulated
@@ -48,6 +55,7 @@ func main() {
 		session  = os.Getenv("WISH_SESSION")
 		trace    bool
 		spanFile string
+		wireV2   = os.Getenv("WISH_WIRE") == "v2"
 	)
 	args := os.Args[1:]
 	var scriptArgs []string
@@ -80,6 +88,19 @@ func main() {
 			}
 			i++
 			session = args[i]
+		case "-wire":
+			if i+1 >= len(args) {
+				fatal("missing version after -wire")
+			}
+			i++
+			switch args[i] {
+			case "v1", "1":
+				wireV2 = false
+			case "v2", "2":
+				wireV2 = true
+			default:
+				fatal("unknown wire version %q (want v1 or v2)", args[i])
+			}
 		case "-trace":
 			trace = true
 		case "-spans":
@@ -110,7 +131,10 @@ func main() {
 	if spanFile != "" {
 		spanInterval = 64
 	}
-	app, err := core.NewApp(core.Options{Name: appName, Display: display, Session: session, Trace: trace, SpanInterval: spanInterval})
+	if wireV2 && trace {
+		fmt.Fprintln(os.Stderr, "wish: -trace decodes v1 framing only; ignoring -wire v2")
+	}
+	app, err := core.NewApp(core.Options{Name: appName, Display: display, Session: session, Trace: trace, SpanInterval: spanInterval, WireV2: wireV2})
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -6,7 +6,14 @@
 //
 // Usage:
 //
-//	xsimd [-addr 127.0.0.1:6001] [-width 1024] [-height 768] [-latency-us N] [-latency-model request|segment] [-fault spec] [-stats-addr addr] [-span-interval N] [-sessions N] [-quota spec] [-idle-evict dur]
+//	xsimd [-addr 127.0.0.1:6001] [-width 1024] [-height 768] [-latency-us N] [-latency-model request|segment] [-wire v1|v2] [-fault spec] [-stats-addr addr] [-span-interval N] [-sessions N] [-quota spec] [-idle-evict dur]
+//
+// -wire controls whether the server accepts wire-protocol-v2 upgrades
+// (docs/pipelining.md): compressed, delta-encoded request segments
+// negotiated per connection. The default v2 accepts upgrades from
+// clients that ask for them (wish -wire v2) and is invisible to v1
+// clients; -wire v1 declines every upgrade, forcing all traffic into
+// plain v1 framing.
 //
 // -fault wraps every accepted connection in the internal/fault chaos
 // layer, injecting the faults the comma-separated key=value spec
@@ -52,6 +59,8 @@ func main() {
 	latency := flag.Int("latency-us", 0, "simulated per-request IPC latency in microseconds")
 	latModel := flag.String("latency-model", "request",
 		`how simulated latency is charged: "request" (per request) or "segment" (per wire read, rewarding pipelined clients)`)
+	wireVer := flag.String("wire", "v2",
+		`highest wire protocol to negotiate: "v2" accepts client upgrade requests, "v1" declines them (docs/pipelining.md)`)
 	faultSpec := flag.String("fault", "",
 		`fault-injection scenario applied to every connection, e.g. "seed=42,jitter=2ms,shortwrite=0.3" (docs/fault-injection.md)`)
 	statsAddr := flag.String("stats-addr", "",
@@ -93,6 +102,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xsimd: unknown -latency-model %q (want request or segment)\n", *latModel)
 		os.Exit(2)
 	}
+	var wireV2 bool
+	switch *wireVer {
+	case "v2", "2":
+		wireV2 = true
+	case "v1", "1":
+		wireV2 = false
+	default:
+		fmt.Fprintf(os.Stderr, "xsimd: unknown -wire %q (want v1 or v2)\n", *wireVer)
+		os.Exit(2)
+	}
 	if *idleEvict != 0 && *sessions <= 0 {
 		fmt.Fprintf(os.Stderr, "xsimd: -idle-evict requires -sessions\n")
 		os.Exit(2)
@@ -112,6 +131,7 @@ func main() {
 			srv.SetLatency(time.Duration(*latency) * time.Microsecond)
 		}
 		srv.SetLatencyModel(model)
+		srv.SetWireV2(wireV2)
 		if spans != nil {
 			srv.SetTracer(spans)
 		}

@@ -60,6 +60,11 @@ type Options struct {
 	// the server with its own tracer — xsimd -span-interval — for the
 	// other half).
 	SpanInterval int
+	// WireV2 negotiates the v2 wire protocol (compressed, delta-encoded
+	// segments with latency-adaptive batching; wish -wire v2). Ignored
+	// when Trace is set: the wire tracer decodes raw v1 framing, so a
+	// traced connection always speaks v1.
+	WireV2 bool
 }
 
 // App is a complete Tk application plus the infrastructure it runs on.
@@ -109,14 +114,20 @@ func NewApp(opts Options) (*App, error) {
 			srv.SetTracer(spans)
 		}
 	}
+	// The wire tracer only decodes v1 framing, so tracing forces v1
+	// (documented on Options.WireV2).
+	wire := xclient.WireV1
+	if opts.WireV2 && !opts.Trace {
+		wire = xclient.WireV2
+	}
 	var d *xclient.Display
 	if opts.Display != "" {
 		// Remote displays get the session handshake (harmless when the
 		// server is a plain single display); the attach frame crosses the
 		// tracer tap like any other request, so a -trace log shows it.
-		d, err = xclient.OpenSession(conn, opts.Session)
+		d, err = xclient.OpenWith(conn, xclient.Config{Session: opts.Session, Attach: true, Wire: wire})
 	} else {
-		d, err = xclient.Open(conn)
+		d, err = xclient.OpenWith(conn, xclient.Config{Wire: wire})
 	}
 	if err != nil {
 		if srv != nil {

@@ -214,7 +214,9 @@ func (x *s) g() { x.b.Lock(); x.a.Lock(); x.a.Unlock(); x.b.Unlock() }
 // TestPoolFixture exercises the pool-lifetime analyzer: leaks on early
 // return and panic, use-after-release, double release, and the three
 // escape routes are flagged; the linear, deferred (plain and
-// closure-wrapped), channel-handoff and accessor idioms are not.
+// closure-wrapped), channel-handoff, enqueue-handoff and accessor
+// idioms are not — and a handoff to a non-enqueue-named function does
+// NOT transfer ownership, so that checkout still leaks.
 func TestPoolFixture(t *testing.T) {
 	assertDiags(t, checkFixture(t, filepath.Join("testdata", "pool")), []string{
 		`testdata/pool/pool.go:72:3: AcquireWriter result "w" (acquired at line 70) is not released on this return path (missing defer?) [pool]`,
@@ -224,6 +226,7 @@ func TestPoolFixture(t *testing.T) {
 		`testdata/pool/pool.go:101:2: pooled Writer "w" escapes through a channel send (pair it with ReleaseWriter in this function instead) [pool]`,
 		`testdata/pool/pool.go:107:9: pooled value "w" escapes via return (the pool can reclaim it while the caller still uses it) [pool]`,
 		`testdata/pool/pool.go:113:2: pooled value "w" escapes via store into a struct or container (the pool can reclaim it out from under the holder) [pool]`,
+		`testdata/pool/pool.go:139:2: pool checkout "bp" (acquired at line 137) is not released on this return path (missing defer?) [pool]`,
 	})
 }
 

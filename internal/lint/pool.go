@@ -16,6 +16,12 @@ import (
 //     checkout, where sending bp down a channel transfers ownership to
 //     the receiver (the conn.out frame-buffer handoff).
 //
+// Ownership of a raw checkout also transfers by passing it to a
+// function whose name starts with "enqueue"/"Enqueue" — the delivery
+// half of the channel-handoff idiom factored into a helper (the
+// callee either sends the buffer on or returns it to the pool on
+// every failure path; xserver's conn.enqueueBuf is the model).
+//
 // For every function it flags, per return path: a pooled value that is
 // neither released nor deferred-released (an early return — or a panic
 // — leaks the value); any use of a value after it went back to the
@@ -156,6 +162,13 @@ func (a *poolAnalyzer) stmt(s ast.Stmt, vals map[string]*poolVal) bool {
 				a.useCheckExpr(s.X, vals)
 				a.checkLeaks(s.X.Pos(), vals)
 				return true
+			}
+			if names := handoffTargets(call, vals); len(names) > 0 {
+				a.useCheckExpr(s.X, vals)
+				for _, n := range names {
+					vals[n].state = poolDone
+				}
+				return false
 			}
 		}
 		a.useCheckExpr(s.X, vals)
@@ -446,6 +459,29 @@ func releaseTarget(call *ast.CallExpr, vals map[string]*poolVal) (string, bool) 
 		}
 	}
 	return "", false
+}
+
+// handoffTargets recognizes the enqueue-handoff idiom: a call to a
+// function named enqueue*/Enqueue* takes ownership of any live raw
+// checkouts passed as arguments (the callee delivers the buffer or
+// returns it to the pool itself). Writers stay tracked — they must be
+// released where they were acquired.
+func handoffTargets(call *ast.CallExpr, vals map[string]*poolVal) []string {
+	name := calleeName(call)
+	if !strings.HasPrefix(name, "enqueue") && !strings.HasPrefix(name, "Enqueue") {
+		return nil
+	}
+	var names []string
+	for _, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v, tracked := vals[id.Name]; tracked && v.kind == rawKind && v.state == poolLive {
+			names = append(names, id.Name)
+		}
+	}
+	return names
 }
 
 func (a *poolAnalyzer) release(name string, vals map[string]*poolVal, pos token.Pos) {

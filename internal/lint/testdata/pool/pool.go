@@ -112,3 +112,36 @@ func escapeByStore(h *holder) {
 	w := AcquireWriter()
 	h.w = w
 }
+
+// enqueueBuffer is the delivery half of the channel handoff: it either
+// sends the buffer on or returns it to the pool.
+func enqueueBuffer(out chan *buffer, bp *buffer) {
+	select {
+	case out <- bp:
+	default:
+		framePool.Put(bp)
+	}
+}
+
+// goodEnqueueHandoff passes a raw checkout to an enqueue* helper —
+// the sanctioned delivery-handoff idiom, not a leak.
+func goodEnqueueHandoff(out chan *buffer) {
+	bp := framePool.Get().(*buffer)
+	bp.b = append(bp.b[:0], 1)
+	enqueueBuffer(out, bp)
+}
+
+// leakViaPlainCall passes a checkout to a non-enqueue function, which
+// does not transfer ownership: still a leak at return.
+func leakViaPlainCall(out chan *buffer) {
+	bp := framePool.Get().(*buffer)
+	deliverBuffer(out, bp)
+}
+
+func deliverBuffer(out chan *buffer, bp *buffer) {
+	select {
+	case out <- bp:
+	default:
+		framePool.Put(bp)
+	}
+}

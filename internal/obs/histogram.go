@@ -56,6 +56,13 @@ func BucketBounds(i int) (lo, hi int64) {
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
 
+// ObserveCount records one unitless observation — a size or a count,
+// not a duration. The buckets are the same power-of-two ranges, just
+// read as plain values instead of nanoseconds. It exists so count-
+// valued series (the client's flush.batch) do not have to launder
+// their numbers through the duration-typed API.
+func (h *Histogram) ObserveCount(v int64) { h.ObserveNs(v) }
+
 // ObserveNs records one observation in nanoseconds.
 func (h *Histogram) ObserveNs(v int64) {
 	h.count.Add(1)

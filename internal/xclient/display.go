@@ -123,13 +123,107 @@ type Display struct {
 	// since the last flush (0 = none), so flushLocked knows to time and
 	// record the wire write that carries it. guarded by mu.
 	tracedFlush uint64
+
+	// Wire protocol v2 state (docs/pipelining.md, "Wire protocol v2").
+	// All of it is settled during OpenWith, before the Display is
+	// published: wireTx says the upgrade was negotiated, wireCaps is the
+	// granted capability set, and txCache is the request delta cache —
+	// consulted and updated only under mu (the same lock that orders the
+	// frames themselves, which is what keeps it in lockstep with the
+	// server's replica). segTx is the segment assembly scratch (guarded
+	// by mu); segRx the readLoop's decompression scratch (readLoop
+	// goroutine only).
+	wireTx   bool               // immutable after OpenWith
+	wireCaps byte               // immutable after OpenWith
+	txCache  *xproto.DeltaCache // guarded by mu
+	segTx    []byte             // guarded by mu
+	segRx    []byte             // readLoop only
+
+	// rttEwma is the smoothed round-trip estimate (ns) fed by every
+	// completed round trip on a v2 connection; the adaptive flush
+	// controller sizes the auto-flush threshold from it
+	// (flushThresholdLocked). 0 = no samples yet (and always 0 on v1,
+	// whose reply path skips the update entirely).
+	rttEwma atomic.Int64
+
+	// wire.* metric handles, pre-resolved at Open so the send/flush hot
+	// paths pay atomic ops, not map lookups. Immutable after Open.
+	wireSegs       *obs.Counter
+	wireBytesRaw   *obs.Counter
+	wireBytesWire  *obs.Counter
+	wireDeltaHits  *obs.Counter
+	wireDeltaMiss  *obs.Counter
+	wireSkipped    *obs.Counter
+	wireDecodeErrs *obs.Counter
+	wireThreshGa   *obs.Gauge
+	wireRTTGa      *obs.Gauge
 }
 
 const eventChanSize = 64
 
+// WireMode selects the wire protocol OpenWith negotiates at setup.
+type WireMode int
+
+const (
+	// WireV1 speaks the original framing — the default. No upgrade
+	// frame is written, so the connection is byte-for-byte identical to
+	// a pre-v2 client (and stays decodable by the xtrace tap).
+	WireV1 WireMode = iota
+	// WireV2 requests the LBX-style v2 upgrade (per-segment
+	// compression, request delta encoding, latency-adaptive flushing;
+	// docs/pipelining.md) and falls back to v1 transparently if the
+	// server declines.
+	WireV2
+)
+
+// Config configures OpenWith. The zero value reproduces Open exactly.
+type Config struct {
+	// Session names the virtual display to attach on a session farm
+	// (docs/farm.md); a non-empty name implies the attach handshake.
+	Session string
+	// Attach writes the session-attach handshake even when Session is
+	// empty (selecting the farm's default session) — what OpenSession
+	// has always done.
+	Attach bool
+	// Wire selects the wire protocol to negotiate.
+	Wire WireMode
+}
+
 // Open establishes a Display over an existing connection (from
 // xserver.ConnectPipe or net.Dial).
 func Open(conn net.Conn) (*Display, error) {
+	return OpenWith(conn, Config{})
+}
+
+// OpenWith establishes a Display with explicit session and
+// wire-protocol configuration. Both handshakes are written raw before
+// the setup block is read, and neither carries a sequence number on
+// either side, so the cookie/span sequence lockstep is untouched
+// whatever is negotiated.
+func OpenWith(conn net.Conn, cfg Config) (*Display, error) {
+	if cfg.Attach || cfg.Session != "" {
+		w := xproto.AcquireWriter()
+		(&xproto.AttachSessionReq{Session: cfg.Session}).Encode(w)
+		err := xproto.WriteRequestFrame(conn, xproto.OpAttachSession, w.Bytes())
+		xproto.ReleaseWriter(w)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("xclient: writing session attach: %w", err)
+		}
+	}
+	if cfg.Wire == WireV2 {
+		w := xproto.AcquireWriter()
+		(&xproto.UpgradeWireReq{
+			Version: 2,
+			Caps:    xproto.WireCapCompress | xproto.WireCapDelta,
+		}).Encode(w)
+		err := xproto.WriteRequestFrame(conn, xproto.OpUpgradeWire, w.Bytes())
+		xproto.ReleaseWriter(w)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("xclient: writing wire upgrade: %w", err)
+		}
+	}
 	d := &Display{
 		conn:       conn,
 		waiters:    make(map[uint64]*Cookie),
@@ -182,9 +276,53 @@ func Open(conn net.Conn) (*Display, error) {
 	d.Width = int(setup.Width)
 	d.Height = int(setup.Height)
 	d.idNext = setup.ResourceIDBase
+	if cfg.Wire == WireV2 {
+		// The ack is queued right behind the setup block (the server's
+		// request loop consumed the upgrade before dispatching anything),
+		// so it is read synchronously here — the negotiation is settled
+		// before the read loop starts and before the first request.
+		conn.SetReadDeadline(time.Now().Add(setupTimeout))
+		kind, ack, err := xproto.ReadServerFrame(conn)
+		conn.SetReadDeadline(time.Time{})
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("xclient: reading wire upgrade ack: %w", err)
+		}
+		if kind != xproto.KindWireAck || len(ack) < 2 {
+			conn.Close()
+			return nil, fmt.Errorf("xclient: malformed wire upgrade ack (kind %d, %d bytes)", kind, len(ack))
+		}
+		if ack[0] >= 2 {
+			d.wireTx = true
+			d.wireCaps = ack[1]
+			if d.wireCaps&xproto.WireCapDelta != 0 {
+				d.txCache = xproto.NewDeltaCache()
+			}
+		}
+		// A version-1 ack is the transparent fallback: the server
+		// declined and both sides continue in v1 framing.
+	}
+	d.wireSegs = d.metrics.Counter("wire.segments.v2")
+	d.wireBytesRaw = d.metrics.Counter("wire.bytes.raw")
+	d.wireBytesWire = d.metrics.Counter("wire.bytes.wire")
+	d.wireDeltaHits = d.metrics.Counter("wire.delta.hits")
+	d.wireDeltaMiss = d.metrics.Counter("wire.delta.misses")
+	d.wireSkipped = d.metrics.Counter("wire.compress.skipped")
+	d.wireDecodeErrs = d.metrics.Counter("wire.decode.errors")
+	d.wireThreshGa = d.metrics.Gauge("wire.flush.threshold")
+	d.wireRTTGa = d.metrics.Gauge("wire.rtt.ewma")
 	go d.readLoop()
 	go d.feedEvents()
 	return d, nil
+}
+
+// WireVersion reports the negotiated wire protocol: 2 after an accepted
+// upgrade, 1 otherwise (including declined upgrades).
+func (d *Display) WireVersion() int {
+	if d.wireTx {
+		return 2
+	}
+	return 1
 }
 
 // Dial connects to a display server at a TCP address.
@@ -204,15 +342,7 @@ func Dial(addr string) (*Display, error) {
 // the connection behaves exactly like Open. The empty name selects the
 // farm's default session.
 func OpenSession(conn net.Conn, session string) (*Display, error) {
-	w := xproto.AcquireWriter()
-	(&xproto.AttachSessionReq{Session: session}).Encode(w)
-	err := xproto.WriteRequestFrame(conn, xproto.OpAttachSession, w.Bytes())
-	xproto.ReleaseWriter(w)
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("xclient: writing session attach: %w", err)
-	}
-	return Open(conn)
+	return OpenWith(conn, Config{Session: session, Attach: true})
 }
 
 // DialSession connects to a display farm at a TCP address and attaches
@@ -281,34 +411,64 @@ func (d *Display) readLoop() {
 			return
 		}
 		scratch = payload
-		switch kind {
-		case xproto.KindEvent:
-			var ev xproto.Event
-			r := xproto.NewReader(payload)
-			ev.Decode(r)
-			if r.Err() != nil {
-				// The frame itself was delimited correctly, so the
-				// stream is still aligned: surface the damage and skip
-				// the frame instead of killing the connection.
-				d.asyncError(fmt.Sprintf("malformed event: %v", r.Err()))
-				continue
+		if kind == xproto.KindWireSeg {
+			// A v2 segment of batched server frames: verify, unwrap and
+			// handle each inner frame. Decode failure is fatal — the
+			// checksum no longer vouches for the stream.
+			raw, s2, derr := xproto.DecodeSegmentPayload(payload, d.segRx)
+			d.segRx = s2
+			if derr == nil {
+				derr = xproto.WalkServerFrames(raw, d.handleServerFrame)
 			}
-			d.metrics.Counter("events").Inc()
-			d.evSeen.Add(1)
-			d.evMu.Lock()
-			d.evQueue = append(d.evQueue, ev)
-			d.evCond.Signal()
-			d.evMu.Unlock()
-		case xproto.KindReply, xproto.KindError:
-			d.routeReply(kind, append([]byte(nil), payload...))
-		default:
+			if derr != nil {
+				d.wireDecodeErrs.Inc()
+				d.metrics.Counter("protocol.corrupt").Inc()
+				d.conn.Close()
+				d.connLost(fmt.Errorf("xclient: protocol corruption: %w", derr))
+				return
+			}
+			continue
+		}
+		if err := d.handleServerFrame(kind, payload); err != nil {
 			// Garbage where a frame header should be: the stream can no
 			// longer be trusted byte-for-byte. Fail cleanly.
 			d.metrics.Counter("protocol.corrupt").Inc()
 			d.conn.Close()
-			d.connLost(fmt.Errorf("xclient: protocol corruption: unknown frame kind %d", kind))
+			d.connLost(err)
 			return
 		}
+	}
+}
+
+// handleServerFrame processes one server frame — bare off the wire or
+// unwrapped from a v2 segment. A returned error is fatal to the
+// connection (stream alignment or trust is gone); recoverable damage
+// inside a correctly delimited frame surfaces through asyncError.
+func (d *Display) handleServerFrame(kind byte, payload []byte) error {
+	switch kind {
+	case xproto.KindEvent:
+		var ev xproto.Event
+		r := xproto.NewReader(payload)
+		ev.Decode(r)
+		if r.Err() != nil {
+			// The frame itself was delimited correctly, so the
+			// stream is still aligned: surface the damage and skip
+			// the frame instead of killing the connection.
+			d.asyncError(fmt.Sprintf("malformed event: %v", r.Err()))
+			return nil
+		}
+		d.metrics.Counter("events").Inc()
+		d.evSeen.Add(1)
+		d.evMu.Lock()
+		d.evQueue = append(d.evQueue, ev)
+		d.evCond.Signal()
+		d.evMu.Unlock()
+		return nil
+	case xproto.KindReply, xproto.KindError:
+		d.routeReply(kind, append([]byte(nil), payload...))
+		return nil
+	default:
+		return fmt.Errorf("xclient: protocol corruption: unknown frame kind %d", kind)
 	}
 }
 
@@ -360,6 +520,11 @@ func (d *Display) routeReply(kind byte, payload []byte) {
 	// to avoid paying.
 	elapsed := time.Since(ck.begin)
 	d.metrics.Histogram("roundtrip").Observe(elapsed)
+	if d.wireTx {
+		// Only the v2 flush controller consumes the EWMA; keep the v1
+		// reply path free of the extra CAS + gauge store.
+		d.observeRTT(int64(elapsed))
+	}
 	if ck.traced {
 		if tr := d.tracer.Load(); tr != nil {
 			tr.Record(trace.Span{
@@ -484,7 +649,25 @@ func (d *Display) send(req xproto.Request) uint64 {
 	d.metrics.Counter("requests").Inc()
 	d.metrics.Counter("requests." + xproto.OpName(req.Op())).Inc()
 	d.seq++
-	d.wbuf = xproto.AppendRequestFrame(d.wbuf, req)
+	if d.wireTx {
+		// v2 path: encode the payload alone, then append an inner frame
+		// (raw or delta against the per-opcode cache). The inner frames
+		// are wrapped into one segment at flush time.
+		w := xproto.AcquireWriter()
+		req.Encode(w)
+		var usedDelta bool
+		d.wbuf, usedDelta = xproto.AppendInnerRequestFrame(d.wbuf, req.Op(), w.Bytes(), d.txCache)
+		xproto.ReleaseWriter(w)
+		if d.txCache != nil {
+			if usedDelta {
+				d.wireDeltaHits.Inc()
+			} else {
+				d.wireDeltaMiss.Inc()
+			}
+		}
+	} else {
+		d.wbuf = xproto.AppendRequestFrame(d.wbuf, req)
+	}
 	d.wcount++
 	return d.seq
 }
@@ -496,14 +679,32 @@ func (d *Display) flushLocked() error {
 		return nil
 	}
 	frames := int64(d.wcount)
-	d.metrics.Histogram("flush.batch").ObserveNs(frames)
+	// flush.batch is a count (frames per flush), not a duration.
+	d.metrics.Histogram("flush.batch").ObserveCount(frames)
 	d.wcount = 0
 	tracedSeq := d.tracedFlush
 	d.tracedFlush = 0
+
+	// Pick what actually goes on the wire: the raw v1 frames, or one v2
+	// segment wrapping the buffered inner frames.
+	out := d.wbuf
+	if d.wireTx {
+		var compressed bool
+		tryCompress := d.wireCaps&xproto.WireCapCompress != 0
+		d.segTx, compressed = xproto.AppendWireSegRequestFrame(d.segTx[:0], d.wbuf, tryCompress)
+		out = d.segTx
+		d.wireSegs.Inc()
+		if tryCompress && !compressed {
+			d.wireSkipped.Inc()
+		}
+	}
+	d.wireBytesRaw.Add(uint64(len(d.wbuf)))
+	d.wireBytesWire.Add(uint64(len(out)))
+
 	if tr := d.tracer.Load(); tr != nil && tracedSeq != 0 {
-		bytes := int64(len(d.wbuf))
+		bytes := int64(len(out))
 		start := trace.Now()
-		_, err := d.conn.Write(d.wbuf)
+		_, err := d.conn.Write(out)
 		d.wbuf = d.wbuf[:0]
 		tr.Record(trace.Span{
 			Seq: tracedSeq, Name: "client.flush", Side: "client",
@@ -513,9 +714,52 @@ func (d *Display) flushLocked() error {
 		d.metrics.Counter("trace.spans").Inc()
 		return err
 	}
-	_, err := d.conn.Write(d.wbuf)
+	_, err := d.conn.Write(out)
 	d.wbuf = d.wbuf[:0]
 	return err
+}
+
+// observeRTT folds one measured round trip into the EWMA (alpha 1/4)
+// that drives the adaptive flush threshold. Lock-free: routeReply runs
+// on the read loop while flushes hold d.mu.
+func (d *Display) observeRTT(ns int64) {
+	for {
+		cur := d.rttEwma.Load()
+		next := ns
+		if cur > 0 {
+			next = cur + (ns-cur)/4
+		}
+		if next <= 0 {
+			next = 1
+		}
+		if d.rttEwma.CompareAndSwap(cur, next) {
+			d.wireRTTGa.Set(next)
+			return
+		}
+	}
+}
+
+// flushThresholdLocked returns the buffered-bytes level that triggers an
+// automatic flush. v1 keeps the historical fixed 32 KiB. v2 scales with
+// the measured round-trip EWMA: on a fast local pipe small batches keep
+// latency low; at WAN latencies the round trip dwarfs serialization
+// time, so larger batches amortize per-segment cost without adding
+// user-visible delay. 12 KiB of budget per 500 µs of RTT on top of an
+// 8 KiB floor, clamped to 256 KiB.
+func (d *Display) flushThresholdLocked() int {
+	if !d.wireTx {
+		return 32 << 10
+	}
+	rtt := d.rttEwma.Load()
+	if rtt <= 0 {
+		return 32 << 10 // no samples yet — keep the v1 default
+	}
+	th := 8<<10 + int(rtt/int64(500*time.Microsecond))*(12<<10)
+	if th > 256<<10 {
+		th = 256 << 10
+	}
+	d.wireThreshGa.Set(int64(th))
+	return th
 }
 
 // Request buffers a one-way request (no reply). Like Xlib, requests are
@@ -531,7 +775,7 @@ func (d *Display) Request(req xproto.Request) {
 	d.send(req)
 	// Keep the buffer bounded even without explicit flushes.
 	var flushErr error
-	if len(d.wbuf) >= 32<<10 {
+	if len(d.wbuf) >= d.flushThresholdLocked() {
 		flushErr = d.flushLocked()
 	}
 	d.mu.Unlock()

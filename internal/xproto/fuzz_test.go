@@ -1,0 +1,105 @@
+package xproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedRequestFrames builds representative v1 and v2 client→server
+// frames to seed the corpus: a plain v1 request, a compressed v2
+// segment, and a v2 segment containing a delta frame.
+func fuzzSeedRequestFrames() [][]byte {
+	seeds := [][]byte{
+		AppendRequestFrame(nil, &PingReq{}),
+		AppendRequestFrame(nil, &PolyFillRectangleReq{Drawable: 3, Gc: 4, Rects: []Rect{{X: 1, Y: 2, W: 3, H: 4}}}),
+		AppendRequestFrame(nil, &UpgradeWireReq{Version: 2, Caps: WireCapCompress | WireCapDelta}),
+	}
+	// A compressible v2 segment of raw inner frames.
+	var inner []byte
+	p := bytes.Repeat([]byte{0x42}, 300)
+	inner, _ = AppendInnerRequestFrame(inner, OpPing, p, nil)
+	seg, _ := AppendWireSegRequestFrame(nil, inner, true)
+	seeds = append(seeds, seg)
+	// A v2 segment whose second inner frame is a delta of the first.
+	dc := NewDeltaCache()
+	inner = nil
+	q := bytes.Repeat([]byte{7, 7, 7, 7}, 32)
+	inner, _ = AppendInnerRequestFrame(inner, OpPing, q, dc)
+	q2 := append([]byte(nil), q...)
+	q2[10] ^= 0xFF
+	inner, _ = AppendInnerRequestFrame(inner, OpPing, q2, dc)
+	seg, _ = AppendWireSegRequestFrame(nil, inner, false)
+	seeds = append(seeds, seg)
+	return seeds
+}
+
+// FuzzReadRequestFrame drives the full client→server decode path —
+// outer v1 framing, then (for OpWireSeg) the segment envelope, the
+// optional flate body and the inner raw/delta frames against a fresh
+// cache. The property under test is "no panic, no out-of-bounds": any
+// malformed input must come back as an error.
+func FuzzReadRequestFrame(f *testing.F) {
+	for _, s := range fuzzSeedRequestFrames() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, payload, err := ReadRequestFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Exercise the generic decode path like the server's dispatcher.
+		if req := NewRequest(op); req != nil {
+			req.Decode(NewReader(payload))
+		}
+		if op != OpWireSeg {
+			return
+		}
+		raw, _, err := DecodeSegmentPayload(payload, nil)
+		if err != nil {
+			return
+		}
+		dc := NewDeltaCache()
+		// Feed each decoded inner frame back through update-rules via the
+		// normal walk; errors are the expected outcome for garbage.
+		_ = dc.DecodeRequestSegment(raw, func(op uint16, payload []byte) error {
+			if req := NewRequest(op); req != nil {
+				req.Decode(NewReader(payload))
+			}
+			return nil
+		})
+	})
+}
+
+// FuzzReadServerFrame drives the server→client decode path: outer v1
+// framing, then (for KindWireSeg) the envelope and the concatenated
+// inner server frames.
+func FuzzReadServerFrame(f *testing.F) {
+	// v1 seeds: a reply-shaped frame and an event-shaped frame.
+	var reply []byte
+	reply = append(reply, KindReply, 0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 1)
+	f.Add(reply)
+	var raw []byte
+	raw = append(raw, KindEvent, 0, 0, 0, 1, 9)
+	raw = append(raw, KindReply, 0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 2)
+	seg, _ := AppendWireSegServerFrame(nil, raw, true)
+	f.Add(seg)
+	ack := []byte{KindWireAck, 0, 0, 0, 2, 2, WireCapCompress | WireCapDelta}
+	f.Add(ack)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, err := ReadServerFrame(bytes.NewReader(data))
+		if err != nil || kind != KindWireSeg {
+			return
+		}
+		raw, _, err := DecodeSegmentPayload(payload, nil)
+		if err != nil {
+			return
+		}
+		_ = WalkServerFrames(raw, func(kind byte, payload []byte) error {
+			var ev Event
+			if kind == KindEvent {
+				ev.Decode(NewReader(payload))
+			}
+			return nil
+		})
+	})
+}

@@ -56,6 +56,8 @@ var opNames = map[uint16]string{
 	OpSetLatency:             "SetLatency",
 	OpQueryCounters:          "QueryCounters",
 	OpAttachSession:          "AttachSession",
+	OpUpgradeWire:            "UpgradeWire",
+	OpWireSeg:                "WireSeg",
 }
 
 // OpName returns the protocol name of a request opcode ("CreateWindow"),

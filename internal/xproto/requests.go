@@ -180,6 +180,10 @@ func NewRequest(op uint16) Request {
 		return &QueryCountersReq{}
 	case OpAttachSession:
 		return &AttachSessionReq{}
+	case OpUpgradeWire:
+		return &UpgradeWireReq{}
+	case OpWireSeg:
+		return &WireSegReq{}
 	}
 	return nil
 }

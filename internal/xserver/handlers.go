@@ -258,6 +258,16 @@ func (s *Server) handle(c *conn, req xproto.Request) {
 		// it pre-setup (Farm.ServeConn) and a plain server's request loop
 		// skips it without a sequence number (ServeConn). A mid-stream
 		// attach on an established connection is a no-op by design.
+	case *xproto.UpgradeWireReq:
+		// The wire-v2 capability exchange never reaches dispatch either:
+		// the request loop consumes it without a sequence number and
+		// answers with a KindWireAck frame (handleUpgradeWire). A
+		// mid-stream upgrade on an established connection is a no-op.
+	case *xproto.WireSegReq:
+		// v2 segments are decoded by the request loop (serveWireSeg) and
+		// their inner frames dispatched individually; a WireSegReq here
+		// means one arrived without negotiation, which the request loop
+		// already rejected as a protocol error before dispatch.
 	case *xproto.QueryCountersReq:
 		rep := &xproto.CountersReply{
 			Requests:   c.metrics.Counter("requests").Value(),

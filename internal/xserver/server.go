@@ -109,6 +109,7 @@ type Server struct {
 	latency      atomic.Int64  // nanoseconds per request (or per segment)
 	latModel     atomic.Int32  // LatencyModel selecting how latency is charged
 	writeTimeout atomic.Int64  // nanoseconds a stalled peer may block a write
+	wireV2       atomic.Bool   // accept wire-protocol-v2 upgrades (SetWireV2)
 	start        time.Time     // immutable after New
 
 	// Resource quota (SetQuota, docs/farm.md): limits and live usage are
@@ -243,6 +244,19 @@ type conn struct {
 	seq  uint64
 	once sync.Once
 
+	// Wire protocol v2 state (docs/pipelining.md, "Wire protocol v2").
+	// The receive half — wireRx, the delta cache and the decode
+	// scratch — is owned by the request-loop goroutine exclusively and
+	// needs no lock. wireCaps is written there too, before the upgrade
+	// sentinel is queued; the writer goroutine reads it only after
+	// dequeuing the sentinel, so the channel orders the two. Codec
+	// state lives and dies with the conn: session teardown (farm
+	// eviction, Server.Close) severs the connection and drops it.
+	wireRx   bool
+	wireCaps byte
+	rxCache  *xproto.DeltaCache
+	rxSeg    []byte
+
 	// metrics holds this connection's view of the same counter and
 	// histogram names the server registry aggregates, plus
 	// "roundtrips", "events" and "dropped". QueryCounters answers from
@@ -267,6 +281,7 @@ func New(width, height int) *Server {
 		nextAtom:   100,
 	}
 	s.nextIDBase.Store(0x00200000)
+	s.wireV2.Store(true)
 	s.lockNames = make(map[*obs.Histogram]string)
 	for _, n := range []string{"tree", "atoms", "fonts", "colors", "conns", "gcs", "pixmaps", "cursors"} {
 		s.lockNames[s.metrics.Histogram("lockwait."+n)] = n
@@ -339,6 +354,13 @@ const DefaultWriteTimeout = 10 * time.Second
 // severed connection increments the "stalled" counter on both the
 // server registry and the connection's own.
 func (s *Server) SetWriteTimeout(d time.Duration) { s.writeTimeout.Store(int64(d)) }
+
+// SetWireV2 sets whether the server accepts wire-protocol-v2 upgrades
+// (the default). With false, every OpUpgradeWire is answered with a
+// version-1 ack and clients fall back to v1 framing transparently —
+// the knob the negotiation-matrix test and `xsimd -wire v1` use.
+// Affects connections negotiated after the call.
+func (s *Server) SetWireV2(on bool) { s.wireV2.Store(on) }
 
 // Stats reports aggregate request count across all connections. It is
 // a compatibility shim over Metrics(): the same number is the
@@ -468,21 +490,46 @@ func (s *Server) ServeConn(nc net.Conn) {
 	// wedge the goroutine forever: on timeout the connection is counted
 	// as stalled and severed. Frame buffers return to the pool here,
 	// after the batch copy.
+	//
+	// Once the request loop accepts a v2 upgrade it queues the
+	// wireTxSentinel; everything dequeued before the sentinel is written
+	// in v1 framing (the setup block and the upgrade ack must be), and
+	// every batch after it is wrapped in a checksummed — and, when the
+	// client asked for it, compressed — KindWireSeg envelope. Small
+	// batches stay unwrapped: the v2 client accepts both framings on the
+	// same stream (no delta runs in this direction, so there is no cache
+	// to keep in sync).
 	go func() {
-		var batch []byte
+		var batch, seg []byte
+		v2 := false
+		wireSegs := s.metrics.Counter("wire.segments.v2")
+		wireRaw := s.metrics.Counter("wire.bytes.raw")
+		wireWire := s.metrics.Counter("wire.bytes.wire")
+		wireSkip := s.metrics.Counter("wire.compress.skipped")
 		for {
 			select {
 			case bp, ok := <-c.out:
 				if !ok {
 					return
 				}
+				if bp == wireTxSentinel {
+					v2 = true
+					continue
+				}
 				batch = append(batch[:0], *bp...)
 				framePool.Put(bp)
+				sentinel := false
 			coalesce:
 				for {
 					select {
 					case more, ok := <-c.out:
 						if !ok {
+							break coalesce
+						}
+						if more == wireTxSentinel {
+							// Flush what precedes the upgrade in the old
+							// framing; the new framing starts next batch.
+							sentinel = true
 							break coalesce
 						}
 						batch = append(batch, *more...)
@@ -491,15 +538,31 @@ func (s *Server) ServeConn(nc net.Conn) {
 						break coalesce
 					}
 				}
+				out := batch
+				wireRaw.Add(uint64(len(batch)))
+				if v2 && len(batch) >= wireWrapMin {
+					tryCompress := c.wireCaps&xproto.WireCapCompress != 0
+					var compressed bool
+					seg, compressed = xproto.AppendWireSegServerFrame(seg[:0], batch, tryCompress)
+					wireSegs.Inc()
+					if tryCompress && !compressed {
+						wireSkip.Inc()
+					}
+					out = seg
+				}
+				wireWire.Add(uint64(len(out)))
 				if to := s.writeTimeout.Load(); to > 0 {
 					nc.SetWriteDeadline(time.Now().Add(time.Duration(to)))
 				}
-				if _, err := nc.Write(batch); err != nil {
+				if _, err := nc.Write(out); err != nil {
 					if ne, ok := err.(net.Error); ok && ne.Timeout() {
 						c.markStalled()
 					}
 					c.close()
 					return
+				}
+				if sentinel {
+					v2 = true
 				}
 			case <-c.done:
 				return
@@ -528,13 +591,15 @@ func (s *Server) ServeConn(nc net.Conn) {
 	// request Decode copies what it retains — see ReadRequestFrameInto).
 	br := bufio.NewReaderSize(&segmentReader{s: s, conn: nc}, 64<<10)
 	var rbuf []byte
+loop:
 	for {
 		op, payload, err := xproto.ReadRequestFrameInto(br, rbuf)
 		if err != nil {
 			break
 		}
 		rbuf = payload
-		if op == xproto.OpAttachSession {
+		switch op {
+		case xproto.OpAttachSession:
 			// The farm consumes the attach handshake before the request
 			// loop ever starts (Farm.ServeConn); one arriving here means a
 			// session-aware client attached a plain single-display server,
@@ -543,74 +608,168 @@ func (s *Server) ServeConn(nc net.Conn) {
 			// before its Display existed and does not count it either, so
 			// skipping keeps both sides' numbering in lockstep.
 			continue
-		}
-		if s.latModel.Load() == int32(LatencyPerRequest) {
-			if lat := s.latency.Load(); lat > 0 {
-				time.Sleep(time.Duration(lat))
+		case xproto.OpUpgradeWire:
+			// The v2 capability exchange follows the attach idiom: no
+			// sequence number on either side (the client writes it before
+			// its Display exists), answered out-of-band with a KindWireAck.
+			s.handleUpgradeWire(c, payload)
+			continue
+		case xproto.OpWireSeg:
+			// A v2 segment of batched requests. Decode failure is fatal:
+			// the envelope checksum or the delta cache no longer vouches
+			// for the stream, so sever rather than dispatch garbage.
+			if err := s.serveWireSeg(c, payload); err != nil {
+				s.metrics.Counter("wire.decode.errors").Inc()
+				c.metrics.Counter("wire.decode.errors").Inc()
+				c.protoError("wire: %v", err)
+				break loop
 			}
+			continue
 		}
-		c.seq++
-		// Counters are bumped before dispatch so a QueryCounters reply
-		// includes its own request; timing wraps only decode + handle,
-		// so the "dispatch" histogram measures true service time, not
-		// the simulated IPC latency above.
-		name := xproto.OpName(op)
-		s.metrics.Counter("requests").Inc()
-		s.metrics.Counter("requests." + name).Inc()
-		c.metrics.Counter("requests").Inc()
-		c.metrics.Counter("requests." + name).Inc()
-		if s.rollupRequests != nil {
-			s.rollupRequests.Inc()
-		}
-		begin := time.Now()
-		if a := s.activity; a != nil {
-			a.Store(begin.UnixNano())
-		}
-		var elapsed time.Duration
-		if tr := s.tracer.Load(); tr != nil && tr.Sampled(c.seq) {
-			// Sampled dispatch: collect this goroutine's contended lock
-			// waits (dispatch runs synchronously here, so every wait the
-			// collector sees belongs to this request) and attribute them
-			// to the span by subsystem.
-			s.metrics.Counter("trace.sampled").Inc()
-			span := trace.Span{
-				Seq: c.seq, Name: "server.dispatch", Side: "server",
-				Op: name, Start: begin.UnixNano(),
-			}
-			remove := obs.SetWaitCollector(func(h *obs.Histogram, waitNs int64) {
-				key := "lockwait.other" // untimed mutexes (e.g. per-pixmap locks)
-				if n, ok := s.lockNames[h]; ok {
-					key = "lockwait." + n
-				}
-				for i := range span.Args {
-					if span.Args[i].Key == key {
-						span.Args[i].Val += waitNs
-						return
-					}
-				}
-				span.Args = append(span.Args, trace.Arg{Key: key, Val: waitNs})
-			})
-			s.dispatch(c, op, payload)
-			remove()
-			elapsed = time.Since(begin)
-			span.Dur = int64(elapsed)
-			tr.Record(span)
-			s.metrics.Counter("trace.spans").Inc()
-		} else {
-			s.dispatch(c, op, payload)
-			elapsed = time.Since(begin)
-		}
-		s.metrics.Histogram("dispatch").Observe(elapsed)
-		c.metrics.Histogram("dispatch").Observe(elapsed)
-		if s.rollupDispatch != nil {
-			s.rollupDispatch.Observe(elapsed)
-		}
+		s.serveRequest(c, op, payload)
 	}
 	c.close()
 	s.connsMu.Lock()
 	delete(s.conns, c)
 	s.connsMu.Unlock()
 	s.cleanupConn(c)
+}
+
+// serveRequest runs the full per-request pipeline — simulated
+// per-request latency, sequence accounting, metrics, span sampling,
+// dispatch and service-time histograms — for one decoded request frame,
+// whether it arrived bare on the wire or inside a v2 segment. Inner
+// frames of a segment therefore behave exactly like v1 requests:
+// identical sequence numbering (the lockstep span sampling relies on)
+// and identical LatencyPerRequest semantics.
+func (s *Server) serveRequest(c *conn, op uint16, payload []byte) {
+	if s.latModel.Load() == int32(LatencyPerRequest) {
+		if lat := s.latency.Load(); lat > 0 {
+			time.Sleep(time.Duration(lat))
+		}
+	}
+	c.seq++
+	// Counters are bumped before dispatch so a QueryCounters reply
+	// includes its own request; timing wraps only decode + handle,
+	// so the "dispatch" histogram measures true service time, not
+	// the simulated IPC latency above.
+	name := xproto.OpName(op)
+	s.metrics.Counter("requests").Inc()
+	s.metrics.Counter("requests." + name).Inc()
+	c.metrics.Counter("requests").Inc()
+	c.metrics.Counter("requests." + name).Inc()
+	if s.rollupRequests != nil {
+		s.rollupRequests.Inc()
+	}
+	begin := time.Now()
+	if a := s.activity; a != nil {
+		a.Store(begin.UnixNano())
+	}
+	var elapsed time.Duration
+	if tr := s.tracer.Load(); tr != nil && tr.Sampled(c.seq) {
+		// Sampled dispatch: collect this goroutine's contended lock
+		// waits (dispatch runs synchronously here, so every wait the
+		// collector sees belongs to this request) and attribute them
+		// to the span by subsystem.
+		s.metrics.Counter("trace.sampled").Inc()
+		span := trace.Span{
+			Seq: c.seq, Name: "server.dispatch", Side: "server",
+			Op: name, Start: begin.UnixNano(),
+		}
+		remove := obs.SetWaitCollector(func(h *obs.Histogram, waitNs int64) {
+			key := "lockwait.other" // untimed mutexes (e.g. per-pixmap locks)
+			if n, ok := s.lockNames[h]; ok {
+				key = "lockwait." + n
+			}
+			for i := range span.Args {
+				if span.Args[i].Key == key {
+					span.Args[i].Val += waitNs
+					return
+				}
+			}
+			span.Args = append(span.Args, trace.Arg{Key: key, Val: waitNs})
+		})
+		s.dispatch(c, op, payload)
+		remove()
+		elapsed = time.Since(begin)
+		span.Dur = int64(elapsed)
+		tr.Record(span)
+		s.metrics.Counter("trace.spans").Inc()
+	} else {
+		s.dispatch(c, op, payload)
+		elapsed = time.Since(begin)
+	}
+	s.metrics.Histogram("dispatch").Observe(elapsed)
+	c.metrics.Histogram("dispatch").Observe(elapsed)
+	if s.rollupDispatch != nil {
+		s.rollupDispatch.Observe(elapsed)
+	}
+}
+
+// wireWrapMin is the smallest outbound batch worth wrapping in a v2
+// segment envelope: below it the envelope overhead exceeds any win, and
+// the v2 client accepts unwrapped v1 frames on the same stream.
+const wireWrapMin = 128
+
+// wireTxSentinel is the writer-goroutine signal that the v2 upgrade was
+// accepted: frames queued before it cross in v1 framing, batches after
+// it are wrapped (see ServeConn's writer). The pointer identity is the
+// signal; the pointee is never touched.
+var wireTxSentinel = new([]byte)
+
+// handleUpgradeWire answers the OpUpgradeWire capability exchange. Like
+// the attach handshake it carries no sequence number on either side.
+// The ack ([u8 version][u8 caps]) is queued behind the setup block that
+// ServeConn already enqueued, so the client always reads setup first;
+// the tx-upgrade sentinel is queued after the ack, so the ack itself
+// still crosses in v1 framing.
+func (s *Server) handleUpgradeWire(c *conn, payload []byte) {
+	var req xproto.UpgradeWireReq
+	r := xproto.NewReader(payload)
+	req.Decode(r)
+	accept := r.Err() == nil && req.Version >= 2 && s.wireV2.Load()
+	ver, caps := byte(1), byte(0)
+	if accept {
+		ver = 2
+		caps = req.Caps & (xproto.WireCapCompress | xproto.WireCapDelta)
+		c.wireRx = true
+		c.wireCaps = caps
+		c.rxCache = xproto.NewDeltaCache()
+	}
+	w := xproto.AcquireWriter()
+	w.PutU8(ver)
+	w.PutU8(caps)
+	c.enqueueFrame(xproto.KindWireAck, w.Bytes(), true)
+	xproto.ReleaseWriter(w)
+	if accept {
+		c.enqueueBuf(wireTxSentinel, true, false)
+	}
+}
+
+// serveWireSeg decodes one v2 segment and serves each inner request
+// through the standard pipeline. Any error means the stream can no
+// longer be trusted (checksum mismatch, cache desync, torn framing) and
+// the caller severs the connection — corruption degrades to a clean
+// connection loss, never to a garbled request reaching a handler.
+func (s *Server) serveWireSeg(c *conn, payload []byte) error {
+	if !c.wireRx {
+		return fmt.Errorf("v2 segment before a negotiated upgrade")
+	}
+	raw, scratch, err := xproto.DecodeSegmentPayload(payload, c.rxSeg)
+	c.rxSeg = scratch
+	if err != nil {
+		return err
+	}
+	return c.rxCache.DecodeRequestSegment(raw, func(op uint16, pl []byte) error {
+		switch op {
+		case xproto.OpAttachSession, xproto.OpUpgradeWire, xproto.OpWireSeg:
+			// Handshake opcodes are pre-setup, outer-framing-only; nested
+			// inside a segment they can only be stream damage.
+			return fmt.Errorf("handshake opcode %s inside a v2 segment", xproto.OpName(op))
+		}
+		s.serveRequest(c, op, pl)
+		return nil
+	})
 }
 
 func (c *conn) close() {
@@ -666,13 +825,26 @@ func (c *conn) enqueueFrame(kind byte, payload []byte, mustDeliver bool) {
 	buf = append(buf, byte(len(payload)>>24), byte(len(payload)>>16), byte(len(payload)>>8), byte(len(payload)))
 	buf = append(buf, payload...)
 	*bp = buf
+	c.enqueueBuf(bp, mustDeliver, true)
+}
+
+// enqueueBuf delivers one buffer pointer to the writer goroutine with
+// enqueueFrame's backpressure rules; pooled buffers are returned to the
+// pool on every non-delivery path (the tx-upgrade sentinel is not
+// pooled).
+func (c *conn) enqueueBuf(bp *[]byte, mustDeliver, pooled bool) {
+	release := func() {
+		if pooled {
+			framePool.Put(bp)
+		}
+	}
 	if mustDeliver {
 		// Fast path: queue space available or connection already gone.
 		select {
 		case c.out <- bp:
 			return
 		case <-c.done:
-			framePool.Put(bp)
+			release()
 			return
 		default:
 		}
@@ -681,7 +853,7 @@ func (c *conn) enqueueFrame(kind byte, payload []byte, mustDeliver bool) {
 			select {
 			case c.out <- bp:
 			case <-c.done:
-				framePool.Put(bp)
+				release()
 			}
 			return
 		}
@@ -690,9 +862,9 @@ func (c *conn) enqueueFrame(kind byte, payload []byte, mustDeliver bool) {
 		select {
 		case c.out <- bp:
 		case <-c.done:
-			framePool.Put(bp)
+			release()
 		case <-timer.C:
-			framePool.Put(bp)
+			release()
 			c.markStalled()
 			c.close()
 		}
@@ -701,9 +873,9 @@ func (c *conn) enqueueFrame(kind byte, payload []byte, mustDeliver bool) {
 	select {
 	case c.out <- bp:
 	case <-c.done:
-		framePool.Put(bp)
+		release()
 	default:
-		framePool.Put(bp)
+		release()
 		c.metrics.Counter("dropped").Inc()
 	}
 }

@@ -130,6 +130,17 @@ func TestEmitPipelineBench(t *testing.T) {
 			rtt["per_segment_pipelined"], rtt["per_segment_serial"])
 	}
 
+	// Under the per-request model the two MUST be close: the server
+	// sleeps once per request however the requests are framed, so
+	// pipelining changes nothing (docs/pipelining.md, "Why only the
+	// per-segment model shows the win"). If these drift apart, the
+	// latency-model accounting itself regressed — flag it.
+	prs, prp := rtt["per_request_serial"], rtt["per_request_pipelined"]
+	if prp*3 < prs*2 || prs*3 < prp*2 {
+		t.Fatalf("per-request model: pipelined %v vs serial %v drifted beyond 1.5x; "+
+			"per-request latency must be framing-independent", prp, prs)
+	}
+
 	// --- Cold widget creation at 0/1/5 ms under both models. ---------
 	// A fresh app per run keeps the resource caches cold, so the
 	// prefetch batch actually has allocations to pipeline.
